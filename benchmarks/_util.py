@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures and *emits* the
+formatted rows: printed to stdout (visible with ``pytest -s``) and saved
+under ``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print ``text`` and persist it to ``benchmarks/results/<name>.txt``."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiment grids are far too heavy for statistical repetition; one
+    timed round still records the wall-clock in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

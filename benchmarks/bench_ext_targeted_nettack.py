@@ -1,0 +1,69 @@
+"""Extension bench — targeted attacks with Nettack (Table I's remaining row).
+
+The paper's untargeted comparison excludes Nettack ("designed specifically
+for targeted attacks", Sec. V-A2).  This bench runs the classic targeted
+protocol instead: sample correctly-classified test victims, attack each
+with budget Δ·deg(v), retrain a GCN on the poisoned graph, and report the
+misclassification (success) rate per budget multiplier.
+"""
+
+import numpy as np
+
+from _util import emit, run_once
+
+from repro.attacks import AttackBudget, Nettack
+from repro.experiments import ExperimentRunner, format_series
+from repro.graph import gcn_normalize
+from repro.nn import GCN, TrainConfig, train_node_classifier
+from repro.tensor import Tensor
+
+BUDGET_MULTIPLIERS = [0.5, 1.0, 2.0]
+NUM_VICTIMS = 8
+
+
+def test_ext_targeted_nettack(benchmark):
+    runner = ExperimentRunner()
+
+    def run():
+        graph = runner.graph("cora")
+        model = GCN(graph.num_features, graph.num_classes, seed=0)
+        train_node_classifier(model, graph, TrainConfig())
+        predictions = model.predict(gcn_normalize(graph.adjacency), Tensor(graph.features))
+        eligible = np.flatnonzero(
+            (predictions == graph.labels) & graph.test_mask & (graph.degrees() >= 2)
+        )
+        rng = np.random.default_rng(0)
+        victims = rng.choice(eligible, size=min(NUM_VICTIMS, len(eligible)), replace=False)
+
+        rates = []
+        for multiplier in BUDGET_MULTIPLIERS:
+            successes = 0
+            for victim in victims:
+                budget = AttackBudget(
+                    total=max(1.0, float(round(multiplier * graph.degrees()[victim])))
+                )
+                result = Nettack(target=int(victim), seed=0).attack(graph, budget=budget)
+                retrained = GCN(graph.num_features, graph.num_classes, seed=1)
+                train_node_classifier(retrained, result.poisoned, TrainConfig())
+                prediction = retrained.predict(
+                    gcn_normalize(result.poisoned.adjacency),
+                    Tensor(result.poisoned.features),
+                )
+                successes += int(prediction[victim] != graph.labels[victim])
+            rates.append(successes / len(victims))
+        return rates
+
+    rates = run_once(benchmark, run)
+    text = format_series(
+        "budget×deg",
+        BUDGET_MULTIPLIERS,
+        {"success rate": rates},
+        title=(
+            "Extension — Nettack targeted misclassification rate vs budget "
+            f"({NUM_VICTIMS} victims, Cora)"
+        ),
+    )
+    emit("ext_targeted_nettack", text)
+    # More budget ⇒ at least as many victims fall.
+    assert rates[-1] >= rates[0], rates
+    assert rates[-1] > 0.0, rates

@@ -1,0 +1,55 @@
+"""Fig 7(b) — PEEGA surrogate depth l (A_n^l X) vs GCN victim depth.
+
+Paper shape: PEEGA_2 is the strongest variant (2-hop context is what the
+victim GCN itself uses); PEEGA_1 is clearly weaker; deeper surrogates
+(3, 4) stay competitive.
+"""
+
+from _util import emit, run_once
+
+from repro.core import PEEGA
+from repro.experiments import ExperimentRunner, format_series
+from repro.nn import GCN, TrainConfig, train_node_classifier
+
+SURROGATE_LAYERS = [1, 2, 3, 4]
+VICTIM_LAYERS = [2, 3]
+
+
+def test_fig7b_layers(benchmark):
+    runner = ExperimentRunner()
+
+    def run():
+        graph = runner.graph("cora")
+        series: dict[str, list[float]] = {}
+        for victim_depth in VICTIM_LAYERS:
+            def eval_gcn(g, depth=victim_depth):
+                values = []
+                for seed in range(runner.config.seeds):
+                    model = GCN(
+                        g.num_features, g.num_classes, num_layers=depth, seed=seed
+                    )
+                    values.append(
+                        train_node_classifier(model, g, TrainConfig()).test_accuracy
+                    )
+                return sum(values) / len(values)
+
+            row = []
+            for layers in SURROGATE_LAYERS:
+                attacker = PEEGA(layers=layers, seed=0)
+                poisoned = attacker.attack(
+                    graph, perturbation_rate=runner.config.rate
+                ).poisoned
+                row.append(eval_gcn(poisoned))
+            series[f"GCN-{victim_depth}L"] = row
+        return series
+
+    series = run_once(benchmark, run)
+    text = format_series(
+        "PEEGA_l",
+        SURROGATE_LAYERS,
+        series,
+        title="Fig 7(b) — GCN accuracy vs PEEGA surrogate depth (Cora, r=0.1)",
+    )
+    emit("fig7b_layers", text)
+    # PEEGA_2 attacks the 2-layer victim at least as well as PEEGA_1.
+    assert series["GCN-2L"][1] <= series["GCN-2L"][0] + 0.02, series

@@ -1,0 +1,52 @@
+"""Fig 9 — GNAT augmentation-strength sensitivity on Citeseer: k_t, k_f, k_e.
+
+Paper shape: each parameter has a sweet spot — accuracy first rises
+(augmented same-label edges make contexts distinguishable) then falls
+(too-aggressive augmentation introduces noise / drowns out the local
+structure).  Defaults {k_t, k_f, k_e} = {2, 15, 10}.
+"""
+
+from _util import emit, run_once
+
+from repro.core import GNAT
+from repro.experiments import ExperimentRunner, format_series
+
+K_T = [1, 2, 3]
+K_F = [5, 10, 15, 20]
+K_E = [1, 5, 10, 20]
+
+
+def test_fig9_gnat_parameters(benchmark):
+    runner = ExperimentRunner()
+
+    def run():
+        poisoned = runner.attack("citeseer", "PEEGA").poisoned
+
+        def score(**kwargs) -> float:
+            cell = runner.evaluate_defender(
+                poisoned,
+                "citeseer",
+                "GNAT",
+                defender_factory=lambda seed: GNAT(seed=seed, **kwargs),
+            )
+            return cell.mean
+
+        return {
+            "k_t": [score(views="t", k_t=k) for k in K_T],
+            "k_f": [score(views="f", k_f=k) for k in K_F],
+            "k_e": [score(views="e", k_e=k) for k in K_E],
+        }
+
+    rows = run_once(benchmark, run)
+    blocks = [
+        format_series("k_t", K_T, {"GNAT-t": rows["k_t"]},
+                      title="Fig 9 — GNAT-t accuracy vs k_t (Citeseer, PEEGA r=0.1)"),
+        format_series("k_f", K_F, {"GNAT-f": rows["k_f"]},
+                      title="Fig 9 — GNAT-f accuracy vs k_f"),
+        format_series("k_e", K_E, {"GNAT-e": rows["k_e"]},
+                      title="Fig 9 — GNAT-e accuracy vs k_e"),
+    ]
+    emit("fig9_gnat_params", "\n\n".join(blocks))
+    # Each sweep stays within a sane band (augmentation never collapses).
+    for key, values in rows.items():
+        assert max(values) - min(values) < 0.35, (key, values)

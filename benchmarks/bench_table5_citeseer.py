@@ -1,0 +1,22 @@
+"""Table V — node classification accuracy on Citeseer under 0.1 perturbation.
+
+Paper shape: PEEGA is the strongest attacker on Citeseer (beating even the
+gray-box Metattack); GNAT is the best defender on every row.
+"""
+
+from _util import emit, run_once
+
+from repro.experiments import ExperimentRunner, format_accuracy_table
+
+
+def test_table5_citeseer(benchmark):
+    runner = ExperimentRunner()
+    table = run_once(benchmark, lambda: runner.accuracy_table("citeseer"))
+    emit(
+        "table5_citeseer",
+        format_accuracy_table(table, title="Table V — Citeseer, r=0.1 (accuracy %)"),
+    )
+
+    gcn = {name: row["GCN"].mean for name, row in table.rows.items()}
+    assert gcn["PEEGA"] < gcn["Clean"], gcn
+    assert gcn["PEEGA"] < gcn["GF-Attack"], gcn

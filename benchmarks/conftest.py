@@ -1,0 +1,7 @@
+"""Makes the benchmarks directory importable (for ``_util``) and keeps
+pytest-benchmark defaults suited to one-shot experiment regeneration."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

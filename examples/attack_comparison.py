@@ -1,0 +1,61 @@
+"""Scenario: red-team audit of a GNN service.
+
+A security team wants to know which threat model matters for their
+node-classification service: a white-box insider (PGD/MinMax), a gray-box
+adversary with label access (Metattack), or a pure black-box outsider who
+can only crawl the graph (GF-Attack, PEEGA).  This script attacks the same
+graph under every model with the same budget and compares damage, cost, and
+the input requirements of each attacker — reproducing the paper's Table I +
+Table IV/VII story in one run.
+"""
+
+import numpy as np
+
+from repro.core import PEEGA
+from repro.attacks import DICE, GFAttack, Metattack, MinMaxAttack, PGDAttack, RandomAttack
+from repro.datasets import load_dataset
+from repro.defenses import RawGCN
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.15, seed=0)
+    clean = np.mean([RawGCN(seed=s).fit(graph).test_accuracy for s in range(3)])
+    print(f"graph: {graph.summary()}")
+    print(f"clean GCN accuracy: {clean:.3f}\n")
+
+    attackers = [
+        ("white-box ", PGDAttack(seed=0)),
+        ("white-box ", MinMaxAttack(seed=0)),
+        ("gray-box  ", Metattack(seed=0)),
+        ("gray-box  ", DICE(seed=0)),
+        ("black-box ", GFAttack(seed=0)),
+        ("black-box ", PEEGA(lam=0.02, focus_training_nodes=False, seed=0)),
+        ("baseline  ", RandomAttack(seed=0)),
+    ]
+
+    print(
+        f"{'threat':<11} {'attacker':<10} {'needs labels':<13} {'needs model':<12} "
+        f"{'accuracy':<9} {'damage':<8} {'time':<7}"
+    )
+    print("-" * 74)
+    for threat, attacker in attackers:
+        result = attacker.attack(graph, perturbation_rate=0.1)
+        accuracy = np.mean(
+            [RawGCN(seed=s).fit(result.poisoned).test_accuracy for s in range(3)]
+        )
+        print(
+            f"{threat:<11} {attacker.name:<10} "
+            f"{str(attacker.requires_labels):<13} {str(attacker.requires_model):<12} "
+            f"{accuracy:<9.3f} {clean - accuracy:<8.3f} {result.runtime_seconds:<6.1f}s"
+        )
+
+    print(
+        "\nReading: the pure black-box PEEGA approaches gray-box damage while "
+        "requiring neither labels nor model access — the paper's headline "
+        "claim — so the service must assume outsiders can mount strong "
+        "poisoning attacks from public data alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Scenario: privacy-preserving data publication (the paper's motivating
+example from Sec. I).
+
+An internet platform wants to publish a social graph but first perturbs user
+links and profiles so individuals are harder to re-identify, while a data
+consumer still needs the published graph to be *useful* for node
+classification.  This script uses PEEGA as the perturbation engine (its
+representation-difference objective maximizes how much published embeddings
+deviate from the originals — a privacy proxy) and measures the
+privacy/utility trade-off across publication budgets, with and without a
+GNAT-hardened consumer.
+"""
+
+import numpy as np
+
+from repro.core import GNAT, PEEGA, DifferenceObjective
+from repro.datasets import load_dataset
+from repro.defenses import RawGCN
+
+
+def embedding_shift(graph, published) -> float:
+    """Mean per-node surrogate-representation shift (privacy proxy)."""
+    objective = DifferenceObjective(graph, lam=0.0)
+    value = objective(published.dense_adjacency(), published.features).item()
+    return value / graph.num_nodes
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.15, seed=0)
+    print(f"original graph: {graph.summary()}\n")
+    print(f"{'budget':>8} | {'embed-shift':>12} | {'GCN utility':>12} | {'GNAT utility':>12}")
+    print("-" * 56)
+
+    for rate in (0.0, 0.05, 0.1, 0.2):
+        if rate == 0.0:
+            published = graph
+        else:
+            published = PEEGA(lam=0.02, focus_training_nodes=False, seed=0).attack(graph, perturbation_rate=rate).poisoned
+        shift = embedding_shift(graph, published)
+        gcn = np.mean(
+            [RawGCN(seed=s).fit(published).test_accuracy for s in range(2)]
+        )
+        gnat = np.mean(
+            [GNAT(seed=s).fit(published).test_accuracy for s in range(2)]
+        )
+        print(f"{rate:>8.2f} | {shift:>12.4f} | {gcn:>12.3f} | {gnat:>12.3f}")
+
+    print(
+        "\nReading: a larger publication budget moves user embeddings further "
+        "(more privacy) but costs the consumer accuracy; a GNAT-hardened "
+        "consumer retains more utility at every budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

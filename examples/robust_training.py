@@ -1,0 +1,60 @@
+"""Scenario: choosing a defense for a poisoned-data pipeline.
+
+A team ingests a graph from an untrusted source (it may already be
+poisoned) and must pick a training recipe.  This script poisons a Citeseer-
+like graph with the strongest attacker at several budgets and compares every
+defender the paper evaluates — including GNAT's individual augmented views —
+so the team can see what each mechanism buys and what it costs in training
+time.
+"""
+
+import numpy as np
+
+from repro.core import GNAT, PEEGA
+from repro.datasets import load_dataset
+from repro.defenses import GCNJaccard, GCNSVD, GNNGuard, ProGNN, RGCN, RawGCN, SimPGCN
+
+
+def evaluate(defender_factory, graph, seeds=2):
+    results = [defender_factory(s).fit(graph) for s in range(seeds)]
+    accuracy = float(np.mean([r.test_accuracy for r in results]))
+    seconds = float(np.mean([r.runtime_seconds for r in results]))
+    return accuracy, seconds
+
+
+def main() -> None:
+    graph = load_dataset("citeseer", scale=0.15, seed=0)
+    print(f"graph: {graph.summary()}\n")
+
+    defenders = [
+        ("GCN (undefended)", lambda s: RawGCN(seed=s)),
+        ("GCN-Jaccard", lambda s: GCNJaccard(seed=s)),
+        ("GCN-SVD", lambda s: GCNSVD(rank=15, seed=s)),
+        ("RGCN", lambda s: RGCN(seed=s)),
+        ("SimPGCN", lambda s: SimPGCN(seed=s)),
+        ("GNNGuard", lambda s: GNNGuard(seed=s)),
+        ("Pro-GNN", lambda s: ProGNN(outer_epochs=30, seed=s)),
+        ("GNAT (t only)", lambda s: GNAT(views="t", seed=s)),
+        ("GNAT (t+e)", lambda s: GNAT(views="te", seed=s)),
+        ("GNAT (t+f+e)", lambda s: GNAT(seed=s)),
+    ]
+
+    for rate in (0.1, 0.2):
+        poisoned = PEEGA(lam=0.05, focus_training_nodes=False, seed=0).attack(graph, perturbation_rate=rate).poisoned
+        print(f"=== PEEGA poison at rate {rate} ===")
+        print(f"{'defender':<18} {'accuracy':>9} {'train time':>11}")
+        print("-" * 42)
+        for name, factory in defenders:
+            accuracy, seconds = evaluate(factory, poisoned)
+            print(f"{name:<18} {accuracy:>9.3f} {seconds:>10.2f}s")
+        print()
+
+    print(
+        "Reading: preprocessing defenses help only when features are "
+        "trustworthy; structure learning (Pro-GNN) is accurate but slow; "
+        "GNAT's multi-view training gets the best accuracy-per-second."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Scenario: targeted attack on a single user (Nettack) vs global poisoning.
+
+An adversary wants ONE specific account misclassified (e.g. to evade a
+bot-detection GNN) rather than to degrade the whole system.  This script
+contrasts the two threat models on the same graph:
+
+* Nettack (targeted, gray-box): perturbs only the victim's neighborhood
+  with a budget proportional to its degree;
+* PEEGA (untargeted, black-box): perturbs globally with a 10% budget.
+
+It reports per-victim outcomes, collateral damage, and what GNAT does to
+both.
+"""
+
+import numpy as np
+
+from repro.attacks import AttackBudget, Nettack
+from repro.core import GNAT, PEEGA
+from repro.datasets import load_dataset
+from repro.graph import gcn_normalize
+from repro.nn import GCN, TrainConfig, train_node_classifier
+from repro.tensor import Tensor
+
+
+def train_gcn(graph, seed=0):
+    model = GCN(graph.num_features, graph.num_classes, seed=seed)
+    result = train_node_classifier(model, graph, TrainConfig())
+    predictions = model.predict(gcn_normalize(graph.adjacency), Tensor(graph.features))
+    return predictions, result.test_accuracy
+
+
+def main() -> None:
+    graph = load_dataset("cora", scale=0.12, seed=0)
+    predictions, clean_accuracy = train_gcn(graph)
+    print(f"graph: {graph.summary()}")
+    print(f"clean GCN accuracy: {clean_accuracy:.3f}\n")
+
+    # Pick victims the clean model classifies correctly.
+    rng = np.random.default_rng(1)
+    eligible = np.flatnonzero(
+        (predictions == graph.labels) & graph.test_mask & (graph.degrees() >= 2)
+    )
+    victims = rng.choice(eligible, size=5, replace=False)
+
+    print("=== targeted: Nettack, budget = deg(v) + 2 ===")
+    fooled = 0
+    for victim in victims:
+        budget = AttackBudget(total=float(graph.degrees()[victim]) + 2.0)
+        result = Nettack(target=int(victim), seed=0).attack(graph, budget=budget)
+        new_predictions, accuracy = train_gcn(result.poisoned, seed=1)
+        hit = new_predictions[victim] != graph.labels[victim]
+        fooled += int(hit)
+        print(
+            f"victim {victim:>4} (deg {graph.degrees()[victim]:.0f}): "
+            f"{'MISCLASSIFIED' if hit else 'survived':<14} "
+            f"global accuracy {accuracy:.3f} (collateral {clean_accuracy - accuracy:+.3f})"
+        )
+    print(f"targeted success rate: {fooled}/{len(victims)}\n")
+
+    print("=== untargeted: PEEGA at 10% budget ===")
+    poisoned = PEEGA(lam=0.02, focus_training_nodes=False, seed=0).attack(
+        graph, perturbation_rate=0.1
+    ).poisoned
+    poisoned_predictions, poisoned_accuracy = train_gcn(poisoned, seed=1)
+    flipped = int(
+        ((poisoned_predictions != graph.labels) & (predictions == graph.labels))[
+            graph.test_mask
+        ].sum()
+    )
+    print(f"global accuracy {poisoned_accuracy:.3f}; {flipped} test nodes newly misclassified")
+
+    gnat = GNAT(seed=0).fit(poisoned)
+    print(f"GNAT on the PEEGA poison: {gnat.test_accuracy:.3f}")
+    print(
+        "\nReading: targeted attacks are surgical (no collateral damage, hard "
+        "to spot in aggregate metrics) while untargeted poisoning moves the "
+        "global accuracy; defenses must handle both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` on modern
+pips; offline machines lacking the ``wheel`` distribution can fall back to
+``pip install -e . --no-use-pep517`` which routes through this file.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Black-box Adversarial Attack and Defense on
+Graph Neural Networks" (Li et al., ICDE 2022).
+
+The package implements the paper's black-box attacker **PEEGA** and
+graph-augmentation defender **GNAT**, together with every substrate the
+evaluation depends on, from scratch in NumPy/SciPy:
+
+* ``repro.tensor``      -- reverse-mode autodiff engine + optimizers
+* ``repro.graph``       -- graph container, GCN normalization, perturbations
+* ``repro.datasets``    -- synthetic Cora/Citeseer/Polblogs stand-ins
+* ``repro.nn``          -- GCN, GAT, training loop, metrics
+* ``repro.surrogate``   -- the linearized ``A_n^l X`` propagation surrogate
+* ``repro.core``        -- PEEGA and GNAT (the paper's contributions)
+* ``repro.attacks``     -- PGD, MinMax, Metattack, GF-Attack, Random, DICE
+* ``repro.defenses``    -- GCN-Jaccard, GCN-SVD, RGCN, Pro-GNN, SimPGCN
+* ``repro.analysis``    -- homophily, edge-diff, cross-label similarity
+* ``repro.experiments`` -- the harness regenerating every table and figure
+
+Quickstart::
+
+    from repro.datasets import load_dataset
+    from repro.core import PEEGA, GNAT
+
+    graph = load_dataset("cora", scale=0.15, seed=0)
+    poisoned = PEEGA(seed=0).attack(graph, perturbation_rate=0.1).poisoned
+    result = GNAT(seed=0).fit(poisoned)
+    print(f"GNAT accuracy on the poisoned graph: {result.test_accuracy:.3f}")
+"""
+
+from . import analysis, attacks, core, datasets, defenses, experiments, graph, nn
+from .core import GNAT, PEEGA
+from .datasets import load_dataset
+from .graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PEEGA",
+    "GNAT",
+    "Graph",
+    "load_dataset",
+    "analysis",
+    "attacks",
+    "core",
+    "datasets",
+    "defenses",
+    "experiments",
+    "graph",
+    "nn",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Attack-pattern analysis toolkit (paper Figs 1–3, Sec. IV-A)."""
+
+from ..graph.properties import edge_homophily
+from .attack_stats import AttackProfile, attack_profile
+from .edge_diff import EdgeDiff, edge_difference
+from .label_similarity import (
+    cross_label_similarity,
+    intra_inter_summary,
+    neighborhood_label_histograms,
+)
+
+__all__ = [
+    "edge_homophily",
+    "EdgeDiff",
+    "AttackProfile",
+    "attack_profile",
+    "edge_difference",
+    "cross_label_similarity",
+    "intra_inter_summary",
+    "neighborhood_label_histograms",
+]

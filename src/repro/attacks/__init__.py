@@ -1,0 +1,28 @@
+"""Attackers: the shared framework and every baseline from the paper's
+Table I that the evaluation uses, plus standard sanity baselines."""
+
+from .base import AttackBudget, Attacker, AttackResult, resolve_budget
+from .constraints import AttackerNodes, sample_attacker_nodes
+from .dice import DICE
+from .gf_attack import GFAttack
+from .metattack import Metattack
+from .minmax import MinMaxAttack
+from .nettack import Nettack
+from .pgd import PGDAttack
+from .random_attack import RandomAttack
+
+__all__ = [
+    "Attacker",
+    "AttackBudget",
+    "AttackResult",
+    "resolve_budget",
+    "AttackerNodes",
+    "sample_attacker_nodes",
+    "RandomAttack",
+    "DICE",
+    "PGDAttack",
+    "MinMaxAttack",
+    "Nettack",
+    "Metattack",
+    "GFAttack",
+]

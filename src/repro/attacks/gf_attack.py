@@ -1,0 +1,194 @@
+"""GF-Attack (Chang et al., 2020) — restricted black-box spectral attacker.
+
+GF-Attack perturbs the *graph filter* of the victim's embedding module
+rather than any classification loss.  For a K-layer linear GNN (SGC-style)
+the embedding quality is governed by the spectrum of the self-looped
+normalized adjacency; GF-Attack scores a candidate flip by the resulting
+change in
+
+    L_GF(Â) = Σ_{i ∈ T}  λ'_i^{2K} · (u_iᵀ x̄)²
+
+where ``λ_i, u_i`` are eigenpairs of ``A_n``, ``x̄`` is the feature row-sum
+vector, and T selects the ``top_t`` smallest-magnitude eigenvalues (the ones
+a K-power filter suppresses — inflating them corrupts the filter).
+
+The ICDE paper extends the (originally targeted) attack to the untargeted
+setting by scoring all candidates and selecting greedily; it also observes
+that GF-Attack is the *slowest* attacker (Table VII) because each candidate
+evaluation involves a spectral decomposition.  This implementation keeps
+that faithful cost: candidates are pre-filtered with first-order eigenvalue
+perturbation theory, and the ``exact_candidates`` best of them are then
+re-evaluated with a full eigendecomposition of the flipped graph.
+
+Black-box access: topology and features only — but note it cannot perturb
+features, and in the untargeted setting it only mildly degrades accuracy
+(Tables IV–VI), both faithfully reproduced here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph import EdgeFlip, Graph, apply_perturbations, gcn_normalize
+from ..utils.rng import SeedLike
+from .base import AttackBudget, Attacker, AttackResult
+
+__all__ = ["GFAttack"]
+
+
+class GFAttack(Attacker):
+    """Spectral graph-filter attacker (untargeted extension).
+
+    Parameters
+    ----------
+    k_power:
+        Filter order K of the surrogate embedding (2 = SGC default).
+    top_t_fraction:
+        Fraction of the spectrum (smallest |λ| first) entering the loss.
+    candidate_pool:
+        Number of random candidate pairs scored per step (plus existing
+        edges' deletions are always considered).
+    exact_candidates:
+        How many top perturbation-theory candidates get exact spectral
+        re-evaluation each step.  This is the deliberate O(n³)-per-candidate
+        cost centre reproducing Table VII's ordering.
+    """
+
+    name = "GF-Attack"
+
+    def __init__(
+        self,
+        k_power: int = 2,
+        top_t_fraction: float = 0.5,
+        candidate_pool: int = 2000,
+        exact_candidates: int = 8,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if k_power < 1:
+            raise ConfigError(f"k_power must be >= 1, got {k_power}")
+        if not 0.0 < top_t_fraction <= 1.0:
+            raise ConfigError(f"top_t_fraction must lie in (0, 1], got {top_t_fraction}")
+        self.k_power = int(k_power)
+        self.top_t_fraction = float(top_t_fraction)
+        self.candidate_pool = int(candidate_pool)
+        self.exact_candidates = int(exact_candidates)
+
+    # ------------------------------------------------------------------
+    def _filter_loss(self, adjacency, x_bar: np.ndarray) -> float:
+        """Exact L_GF via eigendecomposition of the normalized adjacency."""
+        normalized = gcn_normalize(adjacency).toarray()
+        eigenvalues, eigenvectors = np.linalg.eigh(normalized)
+        return self._loss_from_spectrum(eigenvalues, eigenvectors, x_bar)
+
+    def _loss_from_spectrum(
+        self, eigenvalues: np.ndarray, eigenvectors: np.ndarray, x_bar: np.ndarray
+    ) -> float:
+        t = max(1, int(round(len(eigenvalues) * self.top_t_fraction)))
+        order = np.argsort(np.abs(eigenvalues))[:t]
+        projections = eigenvectors[:, order].T @ x_bar
+        return float(
+            np.sum(np.abs(eigenvalues[order]) ** (2 * self.k_power) * projections**2)
+        )
+
+    def _perturbation_scores(
+        self,
+        eigenvalues: np.ndarray,
+        eigenvectors: np.ndarray,
+        x_bar: np.ndarray,
+        candidates: np.ndarray,
+        adjacency_dense: np.ndarray,
+    ) -> np.ndarray:
+        """First-order Δλ estimate of the filter loss change per candidate."""
+        t = max(1, int(round(len(eigenvalues) * self.top_t_fraction)))
+        order = np.argsort(np.abs(eigenvalues))[:t]
+        lams = eigenvalues[order]  # (t,)
+        vecs = eigenvectors[:, order]  # (n, t)
+        projections = (vecs.T @ x_bar) ** 2  # (t,)
+
+        u, v = candidates[:, 0], candidates[:, 1]
+        # First-order shift of each eigenvalue of A_n under one edge flip,
+        # Δλ_k = v_kᵀ E v_k with E = Δ(A_n) decomposed into
+        #   (a) the direct ±1/√(d̃_u d̃_v) entries at (u,v)/(v,u), and
+        #   (b) the rescaling of rows/cols u and v by −Δa/(2 d̃) — which via
+        #       the eigen-relation Σ_i A_n[u,i] v_k[i] = λ_k v_k[u] collapses
+        #       to −λ_k Δa (v_k[u]²/d̃_u + v_k[v]²/d̃_v).
+        degrees = adjacency_dense.sum(axis=1) + 1.0  # self-looped degrees
+        raw_delta = 1.0 - 2.0 * adjacency_dense[u, v]  # +1 add, −1 delete
+        direct = (raw_delta / np.sqrt(degrees[u] * degrees[v]))[:, None] * (
+            2.0 * vecs[u] * vecs[v]
+        )
+        rescale = -lams[None, :] * raw_delta[:, None] * (
+            vecs[u] ** 2 / degrees[u][:, None] + vecs[v] ** 2 / degrees[v][:, None]
+        )
+        shift = direct + rescale
+        new_lams = lams[None, :] + shift  # (c, t)
+        new_loss = np.sum(np.abs(new_lams) ** (2 * self.k_power) * projections[None, :], axis=1)
+        base_loss = np.sum(np.abs(lams) ** (2 * self.k_power) * projections)
+        return new_loss - base_loss
+
+    def _sample_candidates(self, graph: Graph, banned: set[tuple[int, int]]) -> np.ndarray:
+        n = graph.num_nodes
+        pairs: set[tuple[int, int]] = set()
+        # Always consider deleting existing edges.
+        for u, v in graph.edge_list():
+            key = (int(u), int(v))
+            if key not in banned:
+                pairs.add(key)
+        attempts = 0
+        while len(pairs) < self.candidate_pool and attempts < 20 * self.candidate_pool:
+            attempts += 1
+            u, v = self._rng.integers(0, n, size=2)
+            if u == v:
+                continue
+            key = (int(min(u, v)), int(max(u, v)))
+            if key not in banned:
+                pairs.add(key)
+        return np.array(sorted(pairs), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _run(self, graph: Graph, budget: AttackBudget) -> AttackResult:
+        x_bar = graph.features.sum(axis=1)
+        if np.allclose(x_bar, x_bar[0]):
+            # Identity features (Polblogs): fall back to degree profile so the
+            # projections are not all identical.
+            x_bar = graph.degrees() + 1.0
+
+        result = AttackResult(original=graph, poisoned=graph, budget=budget)
+        current = graph
+        banned: set[tuple[int, int]] = set()
+        spent = 0
+
+        while spent + 1 <= budget.total:
+            adjacency_dense = current.dense_adjacency()
+            normalized = gcn_normalize(current.adjacency).toarray()
+            eigenvalues, eigenvectors = np.linalg.eigh(normalized)
+            candidates = self._sample_candidates(current, banned)
+            if len(candidates) == 0:
+                break
+            scores = self._perturbation_scores(
+                eigenvalues, eigenvectors, x_bar, candidates, adjacency_dense
+            )
+            top = np.argsort(-scores)[: self.exact_candidates]
+
+            best_flip = None
+            best_loss = -np.inf
+            for index in top:
+                u, v = int(candidates[index, 0]), int(candidates[index, 1])
+                trial = apply_perturbations(current, [EdgeFlip(u, v)])
+                loss = self._filter_loss(trial.adjacency, x_bar)
+                if loss > best_loss:
+                    best_loss = loss
+                    best_flip = EdgeFlip(u, v)
+            if best_flip is None:
+                break
+
+            banned.add((min(best_flip.u, best_flip.v), max(best_flip.u, best_flip.v)))
+            result.edge_flips.append(best_flip)
+            result.objective_trace.append(best_loss)
+            current = apply_perturbations(current, [best_flip])
+            spent += 1
+
+        result.poisoned = current
+        return result

@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Drives the typical pipeline without writing Python::
+
+    python -m repro dataset cora --scale 0.15 --out cora.npz
+    python -m repro attack PEEGA --graph cora.npz --rate 0.1 --out poison.npz
+    python -m repro analyze --attack poison.npz
+    python -m repro defend GNAT --attack poison.npz --seeds 3
+    python -m repro table cora --rate 0.1
+    python -m repro info --graph cora.npz
+
+Attackers/defenders are instantiated through the per-dataset presets in
+:mod:`repro.experiments.config`, i.e. the same configurations the paper's
+tables use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .analysis import edge_difference, edge_homophily
+from .datasets import dataset_names, load_dataset
+from .errors import ReproError
+from .experiments import (
+    ATTACKER_NAMES,
+    DEFENDER_NAMES,
+    ExperimentRunner,
+    ExperimentScale,
+    defender_names_for,
+    format_accuracy_table,
+    make_attacker,
+    make_defender,
+)
+from .io import load_attack_result, load_graph, save_attack_result, save_graph
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Black-box GNN attack (PEEGA) and defense (GNAT) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dataset = sub.add_parser("dataset", help="generate a synthetic dataset")
+    p_dataset.add_argument("name", choices=dataset_names())
+    p_dataset.add_argument("--scale", type=float, default=0.15)
+    p_dataset.add_argument("--seed", type=int, default=0)
+    p_dataset.add_argument("--out", required=True, help="output .npz path")
+
+    p_attack = sub.add_parser("attack", help="poison a graph")
+    p_attack.add_argument("attacker", choices=ATTACKER_NAMES)
+    p_attack.add_argument("--graph", help=".npz graph from `repro dataset`")
+    p_attack.add_argument("--dataset", choices=dataset_names(), help="generate instead")
+    p_attack.add_argument("--scale", type=float, default=0.15)
+    p_attack.add_argument("--rate", type=float, default=0.1)
+    p_attack.add_argument("--seed", type=int, default=0)
+    p_attack.add_argument("--out", required=True, help="output .npz attack archive")
+
+    p_defend = sub.add_parser("defend", help="train a defender and report accuracy")
+    p_defend.add_argument("defender", choices=DEFENDER_NAMES)
+    p_defend.add_argument("--graph", help=".npz graph to train on")
+    p_defend.add_argument("--attack", help=".npz attack archive (trains on its poison)")
+    p_defend.add_argument("--dataset", default="cora", choices=dataset_names(),
+                          help="dataset name for the preset hyper-parameters")
+    p_defend.add_argument("--seeds", type=int, default=3)
+
+    p_table = sub.add_parser("table", help="regenerate a Table IV/V/VI-style grid")
+    p_table.add_argument("dataset", choices=dataset_names())
+    p_table.add_argument("--scale", type=float, default=0.15)
+    p_table.add_argument("--seeds", type=int, default=3)
+    p_table.add_argument("--rate", type=float, default=0.1)
+    p_table.add_argument("--attackers", nargs="*", choices=ATTACKER_NAMES)
+    p_table.add_argument("--defenders", nargs="*")
+    p_table.add_argument(
+        "--compare",
+        action="store_true",
+        help="render measured-vs-paper markdown with the shape-claim scorecard",
+    )
+
+    p_analyze = sub.add_parser("analyze", help="attack-pattern analysis (Fig 1/2)")
+    p_analyze.add_argument("--attack", required=True, help=".npz attack archive")
+
+    p_info = sub.add_parser("info", help="print graph statistics")
+    p_info.add_argument("--graph", required=True)
+
+    return parser
+
+
+def _load_input_graph(args: argparse.Namespace):
+    if args.graph and args.dataset and args.command == "attack":
+        raise SystemExit("give either --graph or --dataset, not both")
+    if args.graph:
+        return load_graph(args.graph)
+    if getattr(args, "dataset", None):
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    raise SystemExit("one of --graph / --dataset is required")
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    save_graph(graph, args.out)
+    print(graph.summary())
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    graph = _load_input_graph(args)
+    attacker = make_attacker(args.attacker, graph.name, seed=args.seed)
+    result = attacker.attack(graph, perturbation_rate=args.rate)
+    save_attack_result(result, args.out)
+    print(
+        f"{attacker.name}: {len(result.edge_flips)} edge flips, "
+        f"{len(result.feature_flips)} feature flips in "
+        f"{result.runtime_seconds:.1f}s"
+    )
+    print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_defend(args: argparse.Namespace) -> int:
+    if bool(args.graph) == bool(args.attack):
+        raise SystemExit("give exactly one of --graph / --attack")
+    if args.graph:
+        graph = load_graph(args.graph)
+    else:
+        graph = load_attack_result(args.attack).poisoned
+    dataset = graph.name if graph.name in dataset_names() else args.dataset
+    accuracies = [
+        make_defender(args.defender, dataset, seed=seed).fit(graph).test_accuracy
+        for seed in range(args.seeds)
+    ]
+    print(
+        f"{args.defender} on {graph.name}: "
+        f"{100 * np.mean(accuracies):.2f}±{100 * np.std(accuracies):.2f} "
+        f"({args.seeds} seeds)"
+    )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    config = ExperimentScale(scale=args.scale, seeds=args.seeds, rate=args.rate)
+    runner = ExperimentRunner(config)
+    table = runner.accuracy_table(
+        args.dataset,
+        attackers=args.attackers or None,
+        defenders=args.defenders or None,
+    )
+    if args.compare:
+        from .experiments import render_comparison
+
+        print(render_comparison(table))
+    else:
+        print(
+            format_accuracy_table(
+                table,
+                title=f"{args.dataset} @ rate {args.rate} (scale {args.scale}, "
+                f"{args.seeds} seeds)",
+            )
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    result = load_attack_result(args.attack)
+    diff = edge_difference(result.original, result.poisoned)
+    print(f"graph: {result.original.summary()}")
+    print(f"homophily: clean={edge_homophily(result.original):.4f} "
+          f"poisoned={edge_homophily(result.poisoned):.4f}")
+    print(f"edge modifications: {diff}")
+    proportions = diff.proportions()
+    for kind, value in proportions.items():
+        print(f"  {kind}: {value:.1%}")
+    print(f"feature flips: {len(result.feature_flips)}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    print(graph.summary())
+    if graph.labels is not None:
+        print(f"homophily: {edge_homophily(graph):.4f}")
+        counts = np.bincount(graph.labels)
+        print(f"class sizes: {list(counts)}")
+    degrees = graph.degrees()
+    print(
+        f"degrees: min={degrees.min():.0f} median={np.median(degrees):.0f} "
+        f"max={degrees.max():.0f} mean={degrees.mean():.2f}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "dataset": _cmd_dataset,
+    "attack": _cmd_attack,
+    "defend": _cmd_defend,
+    "table": _cmd_table,
+    "analyze": _cmd_analyze,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The paper's primary contributions: the PEEGA attacker and GNAT defender."""
+
+from .difference import (
+    DifferenceObjective,
+    global_view_difference,
+    self_view_difference,
+)
+from .gnat import GNAT, ego_graph, feature_graph, topology_graph
+from .peega import PEEGA
+
+__all__ = [
+    "PEEGA",
+    "GNAT",
+    "topology_graph",
+    "feature_graph",
+    "ego_graph",
+    "DifferenceObjective",
+    "self_view_difference",
+    "global_view_difference",
+]

@@ -1,0 +1,134 @@
+"""Representation-difference measurement (paper Sec. III-A, Eqs. 5–8).
+
+PEEGA scores an attack by how far it moves the surrogate node
+representations ``M = A_n^l X``:
+
+* **Self view** (Eq. 5): ``Dif1 = Σ_v ||M̂[v] − M[v]||_p`` — a node whose
+  representation moves far from its original one tends to be misclassified.
+* **Global view** (Eq. 6): ``Dif2 = Σ_v Σ_{u∈N_v} ||M̂[v] − M[u]||_p`` —
+  neighbors mostly share labels (homophily, Fig 1), so pushing a node away
+  from its *original* neighbors' representations pushes it away from its
+  class without needing labels.
+
+The combined objective (Eq. 8) is ``Dif1 + λ·Dif2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ConfigError
+from ..graph import Graph
+from ..surrogate import linear_propagation
+from ..tensor import Tensor, as_tensor
+from ..tensor.functional import row_pnorm
+
+__all__ = ["DifferenceObjective", "self_view_difference", "global_view_difference"]
+
+
+def self_view_difference(
+    m_hat: Tensor, m_orig: np.ndarray, p: Union[int, float] = 2
+) -> Tensor:
+    """Eq. 5: total row-wise Lp distance between perturbed and original reps."""
+    return row_pnorm(as_tensor(m_hat) - Tensor(m_orig), p).sum()
+
+
+def global_view_difference(
+    m_hat: Tensor,
+    m_orig: np.ndarray,
+    edge_index: np.ndarray,
+    p: Union[int, float] = 2,
+) -> Tensor:
+    """Eq. 6: distance between each node's perturbed rep and its original
+    neighbors' original reps.
+
+    ``edge_index`` is a ``(2, e)`` array of *directed* pairs ``(v, u)`` with
+    ``u ∈ N_v`` taken from the original topology.
+    """
+    if edge_index.shape[0] != 2:
+        raise ConfigError(f"edge_index must be (2, e), got {edge_index.shape}")
+    src, dst = edge_index
+    diffs = as_tensor(m_hat)[src] - Tensor(m_orig[dst])
+    return row_pnorm(diffs, p).sum()
+
+
+@dataclass
+class DifferenceObjective:
+    """Callable objective ``L(Â, X̂) = Dif1 + λ·Dif2`` bound to a clean graph.
+
+    Precomputes the original representations ``M`` and the directed neighbor
+    pairs once; each call evaluates the objective for candidate ``(Â, X̂)``
+    tensors, differentiably.
+
+    Parameters
+    ----------
+    graph:
+        The clean graph ``G(V, A, X)`` (labels unused — black-box setting).
+    layers:
+        Surrogate depth ``l`` in ``A_n^l X`` (paper default 2; Fig 7b sweeps
+        1–4).
+    p:
+        Norm order of the row distance (Fig 8b sweeps {1, 2, 3}).
+    lam:
+        Trade-off ``λ`` between self and global views (Fig 8a).
+    node_mask:
+        Optional boolean mask restricting both sums to a node subset.  The
+        paper computes the objective on the training nodes ("Following [24]",
+        Sec. V-A3); the mask contains no label information, only *which*
+        nodes the attack focuses on.
+    """
+
+    graph: Graph
+    layers: int = 2
+    p: Union[int, float] = 2
+    lam: float = 0.01
+    node_mask: Union[np.ndarray, None] = None
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ConfigError(f"lambda must be non-negative, got {self.lam}")
+        m = linear_propagation(self.graph.adjacency, self.graph.features, self.layers)
+        self._m_orig: np.ndarray = np.asarray(m)
+        coo = self.graph.adjacency.tocoo()
+        edge_index = np.vstack([coo.row, coo.col]).astype(np.int64)
+        if self.node_mask is not None:
+            mask = np.asarray(self.node_mask, dtype=bool)
+            if mask.shape != (self.graph.num_nodes,):
+                raise ConfigError(
+                    f"node_mask must be ({self.graph.num_nodes},), got {mask.shape}"
+                )
+            if not mask.any():
+                raise ConfigError("node_mask selects no nodes")
+            self._rows: Union[np.ndarray, None] = np.flatnonzero(mask)
+            edge_index = edge_index[:, mask[edge_index[0]]]
+        else:
+            self._rows = None
+        self._edge_index: np.ndarray = edge_index
+
+    @property
+    def original_representations(self) -> np.ndarray:
+        """The clean surrogate representations ``M = A_n^l X``."""
+        return self._m_orig
+
+    def __call__(
+        self,
+        adjacency: Union[Tensor, np.ndarray, sp.spmatrix],
+        features: Union[Tensor, np.ndarray],
+    ) -> Tensor:
+        """Evaluate ``Dif1 + λ·Dif2`` for a candidate perturbed graph."""
+        m_hat = linear_propagation(adjacency, as_tensor(features), self.layers)
+        if self._rows is None:
+            loss = self_view_difference(m_hat, self._m_orig, self.p)
+        else:
+            loss = row_pnorm(
+                as_tensor(m_hat)[self._rows] - Tensor(self._m_orig[self._rows]), self.p
+            ).sum()
+        if self.lam > 0 and self._edge_index.shape[1] > 0:
+            loss = loss + self.lam * global_view_difference(
+                m_hat, self._m_orig, self._edge_index, self.p
+            )
+        return loss

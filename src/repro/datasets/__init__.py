@@ -1,0 +1,17 @@
+"""Dataset substrate: synthetic generators, registry, splits."""
+
+from .registry import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .splits import split_counts, stratified_split
+from .synthetic import SyntheticSpec, attach_identity_features, generate_graph
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "SyntheticSpec",
+    "generate_graph",
+    "attach_identity_features",
+    "stratified_split",
+    "split_counts",
+]

@@ -1,0 +1,80 @@
+"""Train/validation/test node splits.
+
+The paper (Sec. V-A1) follows the Nettack/Metattack/Pro-GNN convention:
+10% of nodes for training, 10% for validation, 80% for testing, sampled at
+random.  :func:`stratified_split` additionally stratifies by class so small
+classes remain represented in the labeled set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..graph import Graph
+from ..utils.rng import SeedLike, ensure_rng
+
+__all__ = ["stratified_split", "split_counts"]
+
+
+def split_counts(num_nodes: int, train_frac: float, val_frac: float) -> tuple[int, int, int]:
+    """Integer (train, val, test) sizes for the given fractions."""
+    if not (0 < train_frac < 1 and 0 < val_frac < 1 and train_frac + val_frac < 1):
+        raise DatasetError(
+            f"invalid split fractions train={train_frac}, val={val_frac}"
+        )
+    n_train = max(1, int(round(num_nodes * train_frac)))
+    n_val = max(1, int(round(num_nodes * val_frac)))
+    n_test = num_nodes - n_train - n_val
+    if n_test <= 0:
+        raise DatasetError("split fractions leave no test nodes")
+    return n_train, n_val, n_test
+
+
+def stratified_split(
+    graph: Graph,
+    train_frac: float = 0.1,
+    val_frac: float = 0.1,
+    seed: SeedLike = None,
+) -> Graph:
+    """Return ``graph`` with stratified boolean train/val/test masks attached."""
+    if graph.labels is None:
+        raise DatasetError("stratified_split requires labels")
+    rng = ensure_rng(seed)
+    n = graph.num_nodes
+    n_train, n_val, _ = split_counts(n, train_frac, val_frac)
+
+    train_mask = np.zeros(n, dtype=bool)
+    val_mask = np.zeros(n, dtype=bool)
+
+    # Per-class proportional allocation (at least one train node per class).
+    classes = np.unique(graph.labels)
+    order = []
+    for cls in classes:
+        members = np.flatnonzero(graph.labels == cls)
+        members = rng.permutation(members)
+        cls_train = max(1, int(round(len(members) * train_frac)))
+        cls_val = max(1, int(round(len(members) * val_frac)))
+        train_mask[members[:cls_train]] = True
+        val_mask[members[cls_train : cls_train + cls_val]] = True
+        order.extend(members[cls_train + cls_val :])
+
+    # Trim/extend to hit the exact global counts.
+    def _resize(mask: np.ndarray, target: int, pool: np.ndarray) -> None:
+        current = int(mask.sum())
+        if current > target:
+            extra = rng.choice(np.flatnonzero(mask), size=current - target, replace=False)
+            mask[extra] = False
+        elif current < target:
+            free = pool[~mask[pool] & ~train_mask[pool] & ~val_mask[pool]]
+            take = rng.choice(free, size=min(target - current, len(free)), replace=False)
+            mask[take] = True
+
+    remaining = np.asarray(order, dtype=np.int64)
+    _resize(train_mask, n_train, remaining)
+    _resize(val_mask, n_val, remaining)
+    test_mask = ~(train_mask | val_mask)
+
+    return replace(graph, train_mask=train_mask, val_mask=val_mask, test_mask=test_mask)

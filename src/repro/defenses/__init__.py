@@ -1,0 +1,31 @@
+"""Defenders: the framework and every baseline from Tables IV–VI."""
+
+from .base import Defender, DefenseResult
+from .dropedge import DropEdgeGCN, sample_edge_subgraph
+from .gnnguard import GNNGuard, similarity_weights
+from .jaccard import GCNJaccard, drop_dissimilar_edges, jaccard_similarity
+from .prognn import ProGNN
+from .raw import RawGAT, RawGCN
+from .rgcn import RGCN
+from .simpgcn import SimPGCN, knn_graph
+from .svd import GCNSVD, low_rank_adjacency
+
+__all__ = [
+    "Defender",
+    "DefenseResult",
+    "RawGCN",
+    "RawGAT",
+    "GCNJaccard",
+    "GNNGuard",
+    "DropEdgeGCN",
+    "sample_edge_subgraph",
+    "similarity_weights",
+    "jaccard_similarity",
+    "drop_dissimilar_edges",
+    "GCNSVD",
+    "low_rank_adjacency",
+    "RGCN",
+    "ProGNN",
+    "SimPGCN",
+    "knn_graph",
+]

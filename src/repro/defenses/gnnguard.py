@@ -1,0 +1,135 @@
+"""GNNGuard (Zhang & Zitnik, 2020) — attention-pruning defense.
+
+Cited in the paper's related work as the attention-based defender family
+([40], Sec. II-C): at every layer, edges whose endpoints' *current hidden
+representations* are dissimilar get their message-passing weight pruned to
+zero, and surviving edges are re-weighted by normalized cosine similarity
+with an exponential-memory term across layers.  Like GAT/RGCN it can only
+*down-weight* suspicious edges — the limitation (no recovery of deleted
+edges, error propagation from the poisoned first layer) that the paper's
+Sec. V-B2 discussion attributes to this family.
+
+The similarity coefficients are treated as constants (no gradient flows
+through the pruning weights), matching the original implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import Graph
+from ..nn import Module, TrainConfig, train_node_classifier
+from ..tensor import Tensor, functional as F, glorot_uniform
+from ..utils.rng import SeedLike, ensure_rng
+from .base import Defender
+
+__all__ = ["GNNGuard", "similarity_weights"]
+
+
+def similarity_weights(
+    adjacency: sp.csr_matrix,
+    hidden: np.ndarray,
+    prune_threshold: float,
+) -> sp.csr_matrix:
+    """Row-normalized cosine-similarity edge weights with pruning.
+
+    Returns a weighted operator on the support of ``adjacency`` (plus
+    self-loops) where edge (u, v) carries
+    ``cos(h_u, h_v) / Σ_w cos(h_u, h_w)`` if the similarity clears the
+    threshold, else 0.
+    """
+    coo = adjacency.tocoo()
+    norms = np.linalg.norm(hidden, axis=1)
+    norms[norms == 0] = 1.0
+    unit = hidden / norms[:, None]
+    similarities = np.einsum("ij,ij->i", unit[coo.row], unit[coo.col])
+    similarities = np.where(similarities >= prune_threshold, similarities, 0.0)
+    weighted = sp.coo_matrix(
+        (similarities, (coo.row, coo.col)), shape=adjacency.shape
+    ).tocsr()
+    # Row-normalize over surviving neighbors; every node keeps a self weight
+    # so isolated/full-pruned nodes fall back to their own features.
+    row_sums = np.asarray(weighted.sum(axis=1)).ravel()
+    self_weight = 1.0 / (row_sums + 1.0)
+    scaling = sp.diags(np.where(row_sums > 0, self_weight, 1.0))
+    normalized = scaling @ weighted
+    normalized = normalized + sp.diags(self_weight)
+    return normalized.tocsr()
+
+
+class _GuardedGCN(Module):
+    """Two GCN layers whose propagation operator is rebuilt per forward."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        out_dim: int,
+        prune_threshold: float,
+        memory: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.w1 = glorot_uniform(in_dim, hidden_dim, rng)
+        self.w2 = glorot_uniform(hidden_dim, out_dim, rng)
+        self.prune_threshold = float(prune_threshold)
+        self.memory = float(memory)
+        self._dropout_rng = ensure_rng(rng.integers(0, 2**63 - 1))
+
+    def forward(self, adjacency: sp.csr_matrix, features: Tensor) -> Tensor:
+        # Layer 1: weights from raw feature similarity.
+        op1 = similarity_weights(adjacency, features.data, self.prune_threshold)
+        h = F.relu(F.sparse_matmul(op1, features.matmul(self.w1)))
+        h = F.dropout(h, 0.5, self._dropout_rng, training=self.training)
+        # Layer 2: weights from hidden similarity, smoothed by memory ρ.
+        op2 = similarity_weights(adjacency, h.data, self.prune_threshold)
+        op2 = self.memory * op1 + (1.0 - self.memory) * op2
+        return F.sparse_matmul(op2.tocsr(), h.matmul(self.w2))
+
+
+class GNNGuard(Defender):
+    """Similarity-pruning attention defense.
+
+    Parameters
+    ----------
+    prune_threshold:
+        Minimum endpoint cosine similarity for an edge to keep weight.
+    memory:
+        Exponential smoothing ρ between layer-1 and layer-2 coefficients.
+    """
+
+    name = "GNNGuard"
+
+    def __init__(
+        self,
+        prune_threshold: float = 0.1,
+        memory: float = 0.9,
+        hidden_dim: int = 16,
+        train_config: Optional[TrainConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= memory <= 1.0:
+            raise ValueError(f"memory must lie in [0, 1], got {memory}")
+        self.prune_threshold = float(prune_threshold)
+        self.memory = float(memory)
+        self.hidden_dim = int(hidden_dim)
+        self.train_config = train_config or TrainConfig()
+
+    def _fit(self, graph: Graph) -> tuple[float, float, dict]:
+        rng = ensure_rng(self._model_seed())
+        model = _GuardedGCN(
+            graph.num_features,
+            self.hidden_dim,
+            graph.num_classes,
+            self.prune_threshold,
+            self.memory,
+            rng,
+        )
+        result = train_node_classifier(
+            model, graph, self.train_config, adjacency=graph.adjacency
+        )
+        return result.test_accuracy, result.best_val_accuracy, {}

@@ -1,0 +1,82 @@
+"""GCN-SVD (Entezari et al., 2020) — low-rank preprocessing defense.
+
+Observation: adversarial perturbations are high-frequency — they raise the
+rank of the adjacency.  The defense replaces the poisoned adjacency with its
+rank-``k`` truncated-SVD reconstruction (a dense, weighted matrix) and
+trains a GCN on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ConfigError
+from ..graph import Graph
+from ..nn import GCN, TrainConfig, train_node_classifier
+from ..utils.rng import SeedLike
+from .base import Defender
+
+__all__ = ["GCNSVD", "low_rank_adjacency"]
+
+
+def low_rank_adjacency(adjacency: sp.spmatrix, rank: int) -> np.ndarray:
+    """Rank-``rank`` reconstruction of the adjacency (negatives clipped)."""
+    n = adjacency.shape[0]
+    if not 1 <= rank <= n:
+        raise ConfigError(f"rank must lie in [1, {n}], got {rank}")
+    if rank >= n - 1:
+        dense = adjacency.toarray()
+        return np.clip(dense, 0.0, None)
+    u, s, vt = sp.linalg.svds(adjacency.tocsc().astype(np.float64), k=rank)
+    reconstruction = (u * s) @ vt
+    # Symmetrize (svds output can drift) and clip tiny negatives.
+    reconstruction = 0.5 * (reconstruction + reconstruction.T)
+    return np.clip(reconstruction, 0.0, None)
+
+
+def _normalize_weighted(dense: np.ndarray) -> np.ndarray:
+    """GCN normalization of a dense weighted adjacency with self-loops."""
+    matrix = dense + np.eye(dense.shape[0])
+    degrees = matrix.sum(axis=1)
+    inv_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(np.maximum(degrees, 1e-12)), 0.0)
+    return matrix * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+class GCNSVD(Defender):
+    """Truncated-SVD purification + GCN.
+
+    Parameters
+    ----------
+    rank:
+        Reduced rank of the reconstruction (paper tunes over
+        {5, 10, 15, 50, 100, 200}).
+    """
+
+    name = "GCN-SVD"
+
+    def __init__(
+        self,
+        rank: int = 15,
+        hidden_dim: int = 16,
+        train_config: Optional[TrainConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(seed)
+        self.rank = int(rank)
+        self.hidden_dim = int(hidden_dim)
+        self.train_config = train_config or TrainConfig()
+
+    def _fit(self, graph: Graph) -> tuple[float, float, dict]:
+        reconstruction = low_rank_adjacency(graph.adjacency, min(self.rank, graph.num_nodes - 2))
+        normalized = _normalize_weighted(reconstruction)
+        model = GCN(
+            graph.num_features,
+            graph.num_classes,
+            hidden_dim=self.hidden_dim,
+            seed=self._model_seed(),
+        )
+        result = train_node_classifier(model, graph, self.train_config, adjacency=normalized)
+        return result.test_accuracy, result.best_val_accuracy, {"rank": self.rank}

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or tensor had an incompatible shape."""
+
+
+class GraphError(ReproError, ValueError):
+    """A graph object violated a structural invariant."""
+
+
+class BudgetError(ReproError, ValueError):
+    """An attack budget was invalid or exhausted incorrectly."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An experiment or model configuration was invalid."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure failed to converge."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name or specification was invalid."""

@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .config import (
+    ATTACKER_NAMES,
+    DEFENDER_NAMES,
+    ExperimentScale,
+    defender_names_for,
+    make_attacker,
+    make_defender,
+)
+from .report import evaluate_shape_claims, render_comparison
+from .runner import AccuracyTable, CellResult, ExperimentRunner
+from .tables import format_accuracy_table, format_series, format_timing_table
+from .timing import attacker_timings, defender_timings
+
+__all__ = [
+    "ExperimentScale",
+    "ATTACKER_NAMES",
+    "DEFENDER_NAMES",
+    "make_attacker",
+    "make_defender",
+    "defender_names_for",
+    "ExperimentRunner",
+    "AccuracyTable",
+    "CellResult",
+    "render_comparison",
+    "evaluate_shape_claims",
+    "format_accuracy_table",
+    "format_timing_table",
+    "format_series",
+    "attacker_timings",
+    "defender_timings",
+]

@@ -1,0 +1,144 @@
+"""Experiment configuration: scale knobs and per-dataset method presets.
+
+The paper tunes every method's hyper-parameters per dataset (Sec. V-A3).
+This module centralizes those choices so each bench regenerates its
+table/figure with one call.  The synthetic stand-in graphs are smaller than
+the originals, so a few count-like parameters (kNN k, SVD rank) scale with
+graph size; every such adaptation is noted inline.
+
+Environment knobs (read once per call, so they can be set per bench run):
+
+* ``REPRO_SCALE``  — dataset size factor (default 0.15 ≈ 370-node Cora);
+* ``REPRO_SEEDS``  — model-training seeds averaged per cell (default 3;
+  the paper averages 10 runs);
+* ``REPRO_RATE``   — perturbation rate for the headline tables (default 0.1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..attacks import GFAttack, Metattack, MinMaxAttack, PGDAttack
+from ..attacks.base import Attacker
+from ..core import GNAT, PEEGA
+from ..defenses import (
+    GCNJaccard,
+    GCNSVD,
+    ProGNN,
+    RGCN,
+    RawGAT,
+    RawGCN,
+    SimPGCN,
+)
+from ..defenses.base import Defender
+from ..errors import ConfigError
+from ..utils.rng import SeedLike
+
+__all__ = [
+    "ExperimentScale",
+    "ATTACKER_NAMES",
+    "DEFENDER_NAMES",
+    "make_attacker",
+    "make_defender",
+    "defender_names_for",
+]
+
+ATTACKER_NAMES = ["PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA"]
+DEFENDER_NAMES = [
+    "GCN",
+    "GAT",
+    "GCN-Jaccard",
+    "GCN-SVD",
+    "RGCN",
+    "Pro-GNN",
+    "SimPGCN",
+    "GNAT",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size/replication knobs shared by every bench."""
+
+    scale: float = 0.15
+    seeds: int = 3
+    rate: float = 0.1
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """Read ``REPRO_SCALE`` / ``REPRO_SEEDS`` / ``REPRO_RATE``."""
+        return cls(
+            scale=float(os.environ.get("REPRO_SCALE", 0.15)),
+            seeds=int(os.environ.get("REPRO_SEEDS", 3)),
+            rate=float(os.environ.get("REPRO_RATE", 0.1)),
+        )
+
+
+def make_attacker(name: str, dataset: str, seed: SeedLike = 0) -> Attacker:
+    """Instantiate an attacker with its per-dataset tuned configuration."""
+    dataset = dataset.lower()
+    if name == "PEEGA":
+        # Sec. V-A3 tunes λ and p per dataset.  On the synthetic stand-ins
+        # p=1 wins everywhere, the citation graphs prefer the global
+        # (all-node) objective, and Polblogs the training-node-focused one.
+        # Feature perturbations on Polblogs' identity features are either
+        # degenerate (deleting the only bit) or inert (adding fake ids), so
+        # its tuned configuration is topology-only — consistent with the
+        # paper's observation that TM dominates FP (Fig 5a).
+        if dataset == "polblogs":
+            return PEEGA(
+                lam=0.01, p=1, attack_features=False, focus_training_nodes=True, seed=seed
+            )
+        if dataset == "citeseer":
+            return PEEGA(lam=0.05, p=1, focus_training_nodes=False, seed=seed)
+        return PEEGA(lam=0.02, p=1, focus_training_nodes=False, seed=seed)
+    if name == "Metattack":
+        return Metattack(seed=seed)
+    if name == "PGD":
+        return PGDAttack(seed=seed)
+    if name == "MinMax":
+        return MinMaxAttack(seed=seed)
+    if name == "GF-Attack":
+        return GFAttack(seed=seed)
+    raise ConfigError(f"unknown attacker {name!r}; choose from {ATTACKER_NAMES}")
+
+
+def make_defender(name: str, dataset: str, seed: SeedLike = 0) -> Defender:
+    """Instantiate a defender with its per-dataset tuned configuration."""
+    dataset = dataset.lower()
+    identity_features = dataset == "polblogs"
+    if name == "GCN":
+        return RawGCN(seed=seed)
+    if name == "GAT":
+        return RawGAT(seed=seed)
+    if name == "GCN-Jaccard":
+        if identity_features:
+            raise ConfigError(
+                "GCN-Jaccard is not applicable to Polblogs (identity features)"
+            )
+        # Threshold from the paper's grid; 0.01 trims the least legitimate
+        # structure on the synthetic graphs while still removing most
+        # adversarial (dissimilar-pair) additions.
+        return GCNJaccard(threshold=0.01, seed=seed)
+    if name == "GCN-SVD":
+        return GCNSVD(rank=5 if identity_features else 15, seed=seed)
+    if name == "RGCN":
+        return RGCN(seed=seed)
+    if name == "Pro-GNN":
+        return ProGNN(seed=seed)
+    if name == "SimPGCN":
+        return SimPGCN(knn_k=5 if identity_features else 20, seed=seed)
+    if name == "GNAT":
+        if identity_features:
+            # Feature view unavailable on Polblogs (Table VI footnote).
+            return GNAT(views="te", seed=seed)
+        return GNAT(views="tfe", seed=seed)
+    raise ConfigError(f"unknown defender {name!r}; choose from {DEFENDER_NAMES}")
+
+
+def defender_names_for(dataset: str) -> list[str]:
+    """Defender columns for a dataset (drops Jaccard on Polblogs)."""
+    if dataset.lower() == "polblogs":
+        return [n for n in DEFENDER_NAMES if n != "GCN-Jaccard"]
+    return list(DEFENDER_NAMES)

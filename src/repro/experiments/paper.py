@@ -1,0 +1,155 @@
+"""The paper's reported numbers, as data.
+
+Machine-readable transcription of the ICDE 2022 evaluation — Tables III–IX
+and the headline figure claims — so reproduction quality can be checked
+programmatically (see ``shape_claims``) and ``EXPERIMENTS.md`` can be
+cross-referenced against a single source of truth.
+
+All accuracies are percentages as printed in the paper; timings are seconds
+on the authors' testbed (20-core Xeon + RTX 2080 Ti) and are only meaningful
+as *ratios* here.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "TABLE3_DATASETS",
+    "TABLE4_CORA",
+    "TABLE5_CITESEER",
+    "TABLE6_POLBLOGS",
+    "TABLE7_ATTACK_SECONDS",
+    "TABLE8_DEFENSE_SECONDS",
+    "TABLE9_GNAT_ABLATION_CORA",
+    "paper_accuracy_table",
+    "shape_claims",
+]
+
+# Table III — dataset statistics.
+TABLE3_DATASETS: dict[str, dict[str, int]] = {
+    "cora": {"nodes": 2485, "edges": 5069, "classes": 7, "features": 1433},
+    "citeseer": {"nodes": 2110, "edges": 3668, "classes": 6, "features": 3703},
+    "polblogs": {"nodes": 1222, "edges": 16714, "classes": 2, "features": 1222},
+}
+
+# Tables IV–VI — accuracy (%) under perturbation rate 0.1.
+# rows: attacker (Clean = unattacked); columns: defender.
+TABLE4_CORA: dict[str, dict[str, float]] = {
+    "Clean": {"GCN": 83.36, "GAT": 84.01, "GCN-Jaccard": 82.33, "GCN-SVD": 78.33,
+              "RGCN": 83.74, "Pro-GNN": 83.26, "SimPGCN": 83.39, "GNAT": 85.52},
+    "PGD": {"GCN": 80.96, "GAT": 84.41, "GCN-Jaccard": 80.52, "GCN-SVD": 77.52,
+            "RGCN": 78.18, "Pro-GNN": 82.39, "SimPGCN": 81.45, "GNAT": 84.77},
+    "MinMax": {"GCN": 78.89, "GAT": 80.69, "GCN-Jaccard": 78.84, "GCN-SVD": 77.41,
+               "RGCN": 78.21, "Pro-GNN": 82.57, "SimPGCN": 77.19, "GNAT": 83.89},
+    "Metattack": {"GCN": 72.83, "GAT": 75.56, "GCN-Jaccard": 75.99, "GCN-SVD": 73.69,
+                  "RGCN": 72.47, "Pro-GNN": 80.26, "SimPGCN": 75.18, "GNAT": 81.44},
+    "GF-Attack": {"GCN": 83.72, "GAT": 83.88, "GCN-Jaccard": 82.28, "GCN-SVD": 78.21,
+                  "RGCN": 83.53, "Pro-GNN": 82.22, "SimPGCN": 82.42, "GNAT": 85.41},
+    "PEEGA": {"GCN": 75.31, "GAT": 77.79, "GCN-Jaccard": 76.06, "GCN-SVD": 77.02,
+              "RGCN": 75.64, "Pro-GNN": 81.99, "SimPGCN": 76.51, "GNAT": 83.12},
+}
+
+TABLE5_CITESEER: dict[str, dict[str, float]] = {
+    "Clean": {"GCN": 72.03, "GAT": 73.75, "GCN-Jaccard": 72.46, "GCN-SVD": 70.01,
+              "RGCN": 72.13, "Pro-GNN": 73.26, "SimPGCN": 73.12, "GNAT": 76.39},
+    "PGD": {"GCN": 70.89, "GAT": 72.65, "GCN-Jaccard": 71.17, "GCN-SVD": 68.18,
+            "RGCN": 70.15, "Pro-GNN": 72.35, "SimPGCN": 73.32, "GNAT": 76.36},
+    "MinMax": {"GCN": 70.46, "GAT": 72.14, "GCN-Jaccard": 70.53, "GCN-SVD": 68.24,
+               "RGCN": 67.51, "Pro-GNN": 71.53, "SimPGCN": 72.51, "GNAT": 75.54},
+    "Metattack": {"GCN": 67.33, "GAT": 70.70, "GCN-Jaccard": 69.23, "GCN-SVD": 68.99,
+                  "RGCN": 67.86, "Pro-GNN": 72.63, "SimPGCN": 72.77, "GNAT": 75.57},
+    "GF-Attack": {"GCN": 71.95, "GAT": 72.93, "GCN-Jaccard": 72.19, "GCN-SVD": 70.21,
+                  "RGCN": 71.75, "Pro-GNN": 73.03, "SimPGCN": 73.44, "GNAT": 76.21},
+    "PEEGA": {"GCN": 66.20, "GAT": 69.37, "GCN-Jaccard": 67.17, "GCN-SVD": 67.46,
+              "RGCN": 67.12, "Pro-GNN": 71.14, "SimPGCN": 72.21, "GNAT": 75.27},
+}
+
+TABLE6_POLBLOGS: dict[str, dict[str, float]] = {
+    "Clean": {"GCN": 95.79, "GAT": 95.22, "GCN-SVD": 94.84, "RGCN": 95.34,
+              "Pro-GNN": 95.33, "SimPGCN": 95.56, "GNAT": 95.70},
+    "PGD": {"GCN": 85.78, "GAT": 92.09, "GCN-SVD": 89.12, "RGCN": 81.52,
+            "Pro-GNN": 87.08, "SimPGCN": 84.04, "GNAT": 89.43},
+    "MinMax": {"GCN": 77.38, "GAT": 87.02, "GCN-SVD": 87.58, "RGCN": 81.16,
+               "Pro-GNN": 87.68, "SimPGCN": 72.06, "GNAT": 88.62},
+    "Metattack": {"GCN": 80.32, "GAT": 88.44, "GCN-SVD": 89.98, "RGCN": 80.43,
+                  "Pro-GNN": 93.46, "SimPGCN": 77.24, "GNAT": 93.31},
+    "GF-Attack": {"GCN": 94.94, "GAT": 96.19, "GCN-SVD": 94.32, "RGCN": 95.37,
+                  "Pro-GNN": 95.42, "SimPGCN": 94.87, "GNAT": 95.62},
+    "PEEGA": {"GCN": 72.57, "GAT": 81.15, "GCN-SVD": 80.23, "RGCN": 74.18,
+              "Pro-GNN": 75.26, "SimPGCN": 71.51, "GNAT": 82.61},
+}
+
+# Table VII — attack generation seconds at rate 0.1.
+TABLE7_ATTACK_SECONDS: dict[str, dict[str, float]] = {
+    "PGD": {"cora": 28.87, "citeseer": 26.18, "polblogs": 8.13},
+    "MinMax": {"cora": 50.52, "citeseer": 47.34, "polblogs": 12.74},
+    "Metattack": {"cora": 439.09, "citeseer": 378.42, "polblogs": 630.61},
+    "GF-Attack": {"cora": 890.77, "citeseer": 1245.53, "polblogs": 252.97},
+    "PEEGA": {"cora": 18.76, "citeseer": 15.42, "polblogs": 18.17},
+}
+
+# Table VIII — defender training seconds on the clean graphs.
+TABLE8_DEFENSE_SECONDS: dict[str, dict[str, float]] = {
+    "GCN": {"cora": 0.56, "citeseer": 0.49, "polblogs": 0.55},
+    "GAT": {"cora": 2.02, "citeseer": 1.89, "polblogs": 2.31},
+    "GCN-Jaccard": {"cora": 1.20, "citeseer": 1.11, "polblogs": 1.49},
+    "GCN-SVD": {"cora": 7.01, "citeseer": 7.73, "polblogs": 5.43},
+    "RGCN": {"cora": 1.14, "citeseer": 1.12, "polblogs": 1.12},
+    "Pro-GNN": {"cora": 1326.22, "citeseer": 878.11, "polblogs": 330.07},
+    "SimPGCN": {"cora": 2.82, "citeseer": 2.27, "polblogs": 2.45},
+    "GNAT": {"cora": 0.98, "citeseer": 0.87, "polblogs": 0.81},
+}
+
+# Table IX — GNAT ablation on PEEGA-poisoned graphs (rate 0.1).
+TABLE9_GNAT_ABLATION_CORA: dict[str, float] = {
+    "GNAT-t": 82.28, "GNAT-f": 71.16, "GNAT-e": 76.29,
+    "GNAT-t+f": 82.68, "GNAT-t+e": 82.75, "GNAT-f+e": 78.99,
+    "GNAT-t+f+e": 83.12,
+    "GNAT-tf": 80.08, "GNAT-te": 80.16, "GNAT-fe": 71.83, "GNAT-tfe": 82.91,
+}
+
+_TABLES = {
+    "cora": TABLE4_CORA,
+    "citeseer": TABLE5_CITESEER,
+    "polblogs": TABLE6_POLBLOGS,
+}
+
+
+def paper_accuracy_table(dataset: str) -> Mapping[str, Mapping[str, float]]:
+    """The paper's Table IV/V/VI grid for ``dataset``."""
+    return _TABLES[dataset.lower()]
+
+
+def shape_claims(dataset: str) -> list[tuple[str, bool]]:
+    """Evaluate the paper's qualitative claims *on the paper's own numbers*.
+
+    Returns (claim, holds) pairs — the same claims this repo's benches
+    assert on the measured numbers, so the two lists are directly
+    comparable.  (On the paper's data every claim holds by construction;
+    the function exists so tests and reports share one claim list.)
+    """
+    table = paper_accuracy_table(dataset)
+    gcn = {attacker: row["GCN"] for attacker, row in table.items()}
+    attacked = {k: v for k, v in gcn.items() if k != "Clean"}
+    claims = [
+        ("PEEGA reduces GCN accuracy below clean", gcn["PEEGA"] < gcn["Clean"]),
+        (
+            "PEEGA is stronger than the spectral black-box GF-Attack",
+            gcn["PEEGA"] < gcn["GF-Attack"],
+        ),
+        (
+            "the strongest attacker is Metattack or PEEGA",
+            min(attacked, key=attacked.get) in ("Metattack", "PEEGA"),
+        ),
+        (
+            "GNAT beats raw GCN under the strongest attack",
+            table[min(attacked, key=attacked.get)]["GNAT"]
+            > table[min(attacked, key=attacked.get)]["GCN"],
+        ),
+        (
+            "GNAT is the best defender under PEEGA",
+            max(table["PEEGA"], key=table["PEEGA"].get) == "GNAT",
+        ),
+    ]
+    return claims

@@ -1,0 +1,87 @@
+"""Measured-vs-paper reporting.
+
+Builds a markdown comparison between a measured accuracy grid
+(:class:`~repro.experiments.runner.AccuracyTable`) and the paper's reported
+numbers (:mod:`repro.experiments.paper`), and evaluates the paper's
+qualitative *shape claims* on the measured data — the same claims the
+benches assert.
+
+Used by ``python -m repro table --compare`` and available directly::
+
+    runner = ExperimentRunner()
+    table = runner.accuracy_table("cora")
+    print(render_comparison(table))
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .paper import paper_accuracy_table
+from .runner import AccuracyTable
+
+__all__ = ["render_comparison", "evaluate_shape_claims"]
+
+
+def evaluate_shape_claims(table: AccuracyTable) -> list[tuple[str, bool]]:
+    """The paper's qualitative claims, evaluated on *measured* numbers.
+
+    Mirrors :func:`repro.experiments.paper.shape_claims` (which evaluates
+    the same list on the paper's own numbers).
+    """
+    gcn = {attacker: row["GCN"].mean for attacker, row in table.rows.items()}
+    attacked = {k: v for k, v in gcn.items() if k != "Clean"}
+    strongest = min(attacked, key=attacked.get)  # type: ignore[arg-type]
+    peega_row = table.rows.get("PEEGA", {})
+    claims = [
+        (
+            "PEEGA reduces GCN accuracy below clean",
+            gcn.get("PEEGA", 1.0) < gcn.get("Clean", 0.0),
+        ),
+        (
+            "PEEGA is stronger than the spectral black-box GF-Attack",
+            gcn.get("PEEGA", 1.0) < gcn.get("GF-Attack", 0.0),
+        ),
+        (
+            "the strongest attacker is Metattack or PEEGA",
+            strongest in ("Metattack", "PEEGA"),
+        ),
+        (
+            "GNAT beats raw GCN under the strongest attack",
+            table.rows[strongest]["GNAT"].mean > table.rows[strongest]["GCN"].mean,
+        ),
+        (
+            "GNAT is the best defender under PEEGA",
+            bool(peega_row)
+            and max(peega_row, key=lambda d: peega_row[d].mean) == "GNAT",
+        ),
+    ]
+    return claims
+
+
+def render_comparison(table: AccuracyTable) -> str:
+    """Markdown block: measured vs paper per cell, plus the claim scorecard."""
+    paper = paper_accuracy_table(table.dataset)
+    defenders = list(next(iter(table.rows.values())).keys())
+    lines = [
+        f"### {table.dataset} @ rate {table.rate} — measured (paper)",
+        "",
+        "| attacker | " + " | ".join(defenders) + " |",
+        "|" + "---|" * (len(defenders) + 1),
+    ]
+    for attacker, row in table.rows.items():
+        cells = [attacker]
+        for defender in defenders:
+            measured = 100 * row[defender].mean
+            reference = paper.get(attacker, {}).get(defender)
+            if reference is None:
+                cells.append(f"{measured:.1f} (—)")
+            else:
+                cells.append(f"{measured:.1f} ({reference:.1f})")
+        lines.append("| " + " | ".join(cells) + " |")
+
+    lines.append("")
+    lines.append("**Shape claims (measured):**")
+    for claim, holds in evaluate_shape_claims(table):
+        lines.append(f"- {'✅' if holds else '❌'} {claim}")
+    return "\n".join(lines)

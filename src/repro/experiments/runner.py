@@ -1,0 +1,143 @@
+"""Experiment runner: attack → defense grids with poison-graph caching.
+
+Regenerates the accuracy tables (IV–VI) and all accuracy-vs-parameter
+figures.  Poisoned graphs are cached per (dataset, attacker, rate, scale) so
+a table's eight defender columns reuse one attack run, exactly as the
+paper's protocol (generate poison graphs once, evaluate all defenders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..attacks.base import AttackResult, Attacker
+from ..datasets import load_dataset
+from ..defenses.base import Defender
+from ..graph import Graph
+from .config import ExperimentScale, defender_names_for, make_attacker, make_defender
+
+__all__ = ["CellResult", "AccuracyTable", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Mean ± std over seeds for one (attacker, defender) cell."""
+
+    mean: float
+    std: float
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "CellResult":
+        array = np.asarray(values, dtype=np.float64)
+        return cls(mean=float(array.mean()), std=float(array.std()), values=tuple(values))
+
+    def __str__(self) -> str:
+        return f"{100 * self.mean:.2f}±{100 * self.std:.2f}"
+
+
+@dataclass
+class AccuracyTable:
+    """One of the paper's accuracy grids (rows: attackers, cols: defenders)."""
+
+    dataset: str
+    rate: float
+    rows: dict[str, dict[str, CellResult]] = field(default_factory=dict)
+
+    def best_defender(self, attacker: str) -> str:
+        """Column the paper would bracket: highest accuracy under ``attacker``."""
+        row = self.rows[attacker]
+        return max(row, key=lambda name: row[name].mean)
+
+    def strongest_attacker(self, defender: str) -> str:
+        """Row the paper would bold: lowest accuracy for ``defender``."""
+        candidates = {
+            attacker: row[defender].mean
+            for attacker, row in self.rows.items()
+            if attacker != "Clean" and defender in row
+        }
+        return min(candidates, key=candidates.get)  # type: ignore[arg-type]
+
+
+class ExperimentRunner:
+    """Builds datasets, runs attacks once, and evaluates defender grids."""
+
+    def __init__(self, config: Optional[ExperimentScale] = None, dataset_seed: int = 0) -> None:
+        self.config = config or ExperimentScale.from_env()
+        self.dataset_seed = int(dataset_seed)
+        self._graphs: dict[str, Graph] = {}
+        self._poisons: dict[tuple[str, str, float], AttackResult] = {}
+
+    # ------------------------------------------------------------------
+    def graph(self, dataset: str) -> Graph:
+        """The (cached) clean graph for ``dataset`` at the configured scale."""
+        key = dataset.lower()
+        if key not in self._graphs:
+            self._graphs[key] = load_dataset(
+                key, scale=self.config.scale, seed=self.dataset_seed
+            )
+        return self._graphs[key]
+
+    def attack(
+        self,
+        dataset: str,
+        attacker_name: str,
+        rate: Optional[float] = None,
+        attacker: Optional[Attacker] = None,
+    ) -> AttackResult:
+        """Run (or fetch the cached) attack on a dataset."""
+        rate = self.config.rate if rate is None else rate
+        key = (dataset.lower(), attacker_name, rate)
+        if key not in self._poisons:
+            attacker = attacker or make_attacker(attacker_name, dataset, seed=0)
+            self._poisons[key] = attacker.attack(self.graph(dataset), perturbation_rate=rate)
+        return self._poisons[key]
+
+    # ------------------------------------------------------------------
+    def evaluate_defender(
+        self,
+        graph: Graph,
+        dataset: str,
+        defender_name: str,
+        defender_factory: Optional[Callable[[int], Defender]] = None,
+    ) -> CellResult:
+        """Average a defender's test accuracy over the configured seeds."""
+        factory = defender_factory or (
+            lambda seed: make_defender(defender_name, dataset, seed=seed)
+        )
+        values = [
+            factory(seed).fit(graph).test_accuracy for seed in range(self.config.seeds)
+        ]
+        return CellResult.from_values(values)
+
+    def accuracy_table(
+        self,
+        dataset: str,
+        attackers: Optional[list[str]] = None,
+        defenders: Optional[list[str]] = None,
+        rate: Optional[float] = None,
+        include_clean: bool = True,
+    ) -> AccuracyTable:
+        """Regenerate a Table IV/V/VI-style grid for ``dataset``."""
+        from .config import ATTACKER_NAMES
+
+        attackers = attackers if attackers is not None else list(ATTACKER_NAMES)
+        defenders = defenders if defenders is not None else defender_names_for(dataset)
+        rate = self.config.rate if rate is None else rate
+        table = AccuracyTable(dataset=dataset, rate=rate)
+
+        if include_clean:
+            clean = self.graph(dataset)
+            table.rows["Clean"] = {
+                name: self.evaluate_defender(clean, dataset, name) for name in defenders
+            }
+        for attacker_name in attackers:
+            poisoned = self.attack(dataset, attacker_name, rate).poisoned
+            table.rows[attacker_name] = {
+                name: self.evaluate_defender(poisoned, dataset, name)
+                for name in defenders
+            }
+        return table

@@ -1,0 +1,114 @@
+"""Plain-text rendering of experiment results in the paper's table style."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .runner import AccuracyTable, CellResult
+
+__all__ = ["format_accuracy_table", "format_timing_table", "format_series"]
+
+
+def format_accuracy_table(table: AccuracyTable, title: str = "") -> str:
+    """Render an :class:`AccuracyTable` like the paper's Tables IV–VI.
+
+    The best defender per attacker row is wrapped in ``( )`` and the
+    strongest attacker per defender column is marked with ``*``, mirroring
+    the paper's parentheses/bold conventions.
+    """
+    defenders = list(next(iter(table.rows.values())).keys())
+    strongest = {
+        name: table.strongest_attacker(name)
+        for name in defenders
+        if any(a != "Clean" for a in table.rows)
+    }
+    header = ["Attacker"] + defenders
+    lines = []
+    if title:
+        lines.append(title)
+    widths = [max(12, len(h) + 2) for h in header]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines.append(fmt_row(header))
+    lines.append("-+-".join("-" * width for width in widths))
+    for attacker, row in table.rows.items():
+        best = table.best_defender(attacker)
+        cells = [attacker]
+        for name in defenders:
+            text = str(row[name])
+            if name == best:
+                text = f"({text})"
+            if strongest.get(name) == attacker:
+                text = f"*{text}"
+            cells.append(text)
+        lines.append(fmt_row(cells))
+    return "\n".join(lines)
+
+
+def format_timing_table(
+    timings: Mapping[str, Mapping[str, CellResult]],
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """Render a Table VII/VIII-style timing grid (rows: methods, cols: datasets).
+
+    Rows may be ragged (e.g. GCN-Jaccard has no Polblogs column); missing
+    cells render as ``—``.
+    """
+    datasets: list[str] = []
+    for row in timings.values():
+        for ds in row:
+            if ds not in datasets:
+                datasets.append(ds)
+    header = ["Method"] + datasets
+    widths = [max(14, len(h) + 2) for h in header]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    best = {
+        ds: min(
+            (m for m in timings if ds in timings[m]),
+            key=lambda m: timings[m][ds].mean,
+        )
+        for ds in datasets
+    }
+    for method, row in timings.items():
+        cells = [method]
+        for ds in datasets:
+            if ds not in row:
+                cells.append("—")
+                continue
+            cell = row[ds]
+            text = f"{cell.mean:.2f}±{cell.std:.2f}{unit}"
+            if best[ds] == method:
+                text = f"({text})"
+            cells.append(text)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    percent: bool = True,
+) -> str:
+    """Render figure data as a text table: one column per x, one row per line."""
+    header = [x_label] + [str(x) for x in x_values]
+    widths = [max(12, len(h) + 2) for h in header]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for name, values in series.items():
+        cells = [name] + [
+            (f"{100 * v:.2f}" if percent else f"{v:.4g}") for v in values
+        ]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Efficiency experiments: attacker runtimes (Table VII) and defender
+training times (Table VIII)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .config import (
+    ATTACKER_NAMES,
+    ExperimentScale,
+    defender_names_for,
+    make_attacker,
+    make_defender,
+)
+from .runner import CellResult, ExperimentRunner
+
+__all__ = ["attacker_timings", "defender_timings"]
+
+
+def attacker_timings(
+    datasets: Sequence[str],
+    attackers: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentScale] = None,
+    repeats: int = 2,
+) -> dict[str, dict[str, CellResult]]:
+    """Wall-clock seconds to generate a poison graph (Table VII).
+
+    Rows: attackers; columns: datasets.  Each cell averages ``repeats`` runs
+    with distinct attacker seeds at the configured perturbation rate.
+    """
+    config = config or ExperimentScale.from_env()
+    attackers = list(attackers or ATTACKER_NAMES)
+    runner = ExperimentRunner(config)
+    result: dict[str, dict[str, CellResult]] = {name: {} for name in attackers}
+    for dataset in datasets:
+        graph = runner.graph(dataset)
+        for name in attackers:
+            times = []
+            for seed in range(repeats):
+                attacker = make_attacker(name, dataset, seed=seed)
+                attack_result = attacker.attack(graph, perturbation_rate=config.rate)
+                times.append(attack_result.runtime_seconds)
+            result[name][dataset] = CellResult.from_values(times)
+    return result
+
+
+def defender_timings(
+    datasets: Sequence[str],
+    defenders: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentScale] = None,
+    repeats: int = 2,
+) -> dict[str, dict[str, CellResult]]:
+    """Wall-clock seconds to train each defender on the clean graphs
+    (Table VIII; the paper reports clean-graph times as representative)."""
+    config = config or ExperimentScale.from_env()
+    runner = ExperimentRunner(config)
+    all_defenders = defenders
+    result: dict[str, dict[str, CellResult]] = {}
+    for dataset in datasets:
+        names = list(all_defenders or defender_names_for(dataset))
+        graph = runner.graph(dataset)
+        for name in names:
+            times = []
+            for seed in range(repeats):
+                defense = make_defender(name, dataset, seed=seed).fit(graph)
+                times.append(defense.runtime_seconds)
+            result.setdefault(name, {})[dataset] = CellResult.from_values(times)
+    return result

@@ -1,0 +1,39 @@
+"""Graph substrate: container, normalization, perturbation, properties."""
+
+from .graph import Graph
+from .normalize import add_self_loops, gcn_normalize, gcn_normalize_dense
+from .perturb import (
+    EdgeFlip,
+    FeatureFlip,
+    Perturbation,
+    apply_perturbations,
+    feature_distance,
+    flip_edges,
+    flip_features,
+    structural_distance,
+)
+from .properties import (
+    degree_histogram,
+    edge_homophily,
+    isolated_nodes,
+    largest_connected_component,
+)
+
+__all__ = [
+    "Graph",
+    "gcn_normalize",
+    "gcn_normalize_dense",
+    "add_self_loops",
+    "EdgeFlip",
+    "FeatureFlip",
+    "Perturbation",
+    "apply_perturbations",
+    "flip_edges",
+    "flip_features",
+    "structural_distance",
+    "feature_distance",
+    "edge_homophily",
+    "degree_histogram",
+    "largest_connected_component",
+    "isolated_nodes",
+]

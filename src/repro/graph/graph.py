@@ -1,0 +1,201 @@
+"""The :class:`Graph` container shared by datasets, attacks, and defenses.
+
+Matches the paper's formalization ``G(V, A, X, Y)`` (Table II): an undirected
+graph with a binary symmetric adjacency matrix ``A`` (no self-loops), binary
+node features ``X``, optional integer labels ``Y``, and optional boolean
+train/validation/test masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphError
+
+__all__ = ["Graph"]
+
+
+def _as_csr(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    if sp.issparse(adjacency):
+        matrix = adjacency.tocsr().astype(np.float64)
+    else:
+        matrix = sp.csr_matrix(np.asarray(adjacency, dtype=np.float64))
+    matrix.eliminate_zeros()
+    matrix.sum_duplicates()
+    return matrix
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An attributed undirected graph.
+
+    Attributes
+    ----------
+    adjacency:
+        ``(n, n)`` binary symmetric CSR matrix with a zero diagonal.
+    features:
+        ``(n, d)`` dense feature matrix (binary in the paper's setting).
+    labels:
+        Optional ``(n,)`` integer class labels.
+    train_mask / val_mask / test_mask:
+        Optional boolean node masks (mutually disjoint when all present).
+    name:
+        Human-readable dataset name.
+    """
+
+    adjacency: sp.csr_matrix
+    features: np.ndarray
+    labels: Optional[np.ndarray] = None
+    train_mask: Optional[np.ndarray] = None
+    val_mask: Optional[np.ndarray] = None
+    test_mask: Optional[np.ndarray] = None
+    name: str = "graph"
+    validate: bool = field(default=True, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "adjacency", _as_csr(self.adjacency))
+        object.__setattr__(
+            self, "features", np.ascontiguousarray(np.asarray(self.features, dtype=np.float64))
+        )
+        if self.labels is not None:
+            object.__setattr__(self, "labels", np.asarray(self.labels, dtype=np.int64))
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(self, mask_name)
+            if mask is not None:
+                object.__setattr__(self, mask_name, np.asarray(mask, dtype=bool))
+        if self.validate:
+            self._check_invariants()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def _check_invariants(self) -> None:
+        n = self.adjacency.shape[0]
+        if self.adjacency.shape != (n, n):
+            raise GraphError(f"adjacency must be square, got {self.adjacency.shape}")
+        if self.features.ndim != 2 or self.features.shape[0] != n:
+            raise GraphError(
+                f"features must be (n, d) with n={n}, got {self.features.shape}"
+            )
+        if self.adjacency.diagonal().any():
+            raise GraphError("adjacency must have a zero diagonal (no self-loops)")
+        diff = self.adjacency - self.adjacency.T
+        if diff.nnz and np.abs(diff.data).max() > 1e-9:
+            raise GraphError("adjacency must be symmetric")
+        data = self.adjacency.data
+        if data.size and not np.isin(np.unique(data), (0.0, 1.0)).all():
+            raise GraphError("adjacency must be binary")
+        if self.labels is not None and self.labels.shape != (n,):
+            raise GraphError(f"labels must be (n,), got {self.labels.shape}")
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            mask = getattr(self, mask_name)
+            if mask is not None and mask.shape != (n,):
+                raise GraphError(f"{mask_name} must be (n,), got {mask.shape}")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self.adjacency.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Feature dimensionality ``d_x``."""
+        return self.features.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *undirected* edges (the paper's ``||A||_0``)."""
+        return self.adjacency.nnz // 2
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels (requires labels)."""
+        if self.labels is None:
+            raise GraphError("graph has no labels")
+        return int(self.labels.max()) + 1
+
+    def degrees(self) -> np.ndarray:
+        """Node degrees as a 1-D float array."""
+        return np.asarray(self.adjacency.sum(axis=1)).ravel()
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Indices of nodes adjacent to ``node``."""
+        return self.adjacency.indices[
+            self.adjacency.indptr[node] : self.adjacency.indptr[node + 1]
+        ]
+
+    def edge_list(self) -> np.ndarray:
+        """``(m, 2)`` array of undirected edges with ``u < v``."""
+        coo = sp.triu(self.adjacency, k=1).tocoo()
+        return np.column_stack([coo.row, coo.col]).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge connects ``u`` and ``v``."""
+        return bool(self.adjacency[u, v] != 0)
+
+    def dense_adjacency(self) -> np.ndarray:
+        """Dense copy of the adjacency matrix."""
+        return self.adjacency.toarray()
+
+    # ------------------------------------------------------------------
+    # Functional updates
+    # ------------------------------------------------------------------
+    def with_adjacency(self, adjacency: sp.spmatrix | np.ndarray, validate: bool = True) -> "Graph":
+        """Return a copy of this graph carrying a new adjacency matrix."""
+        return replace(self, adjacency=_as_csr(adjacency), validate=validate)
+
+    def with_features(self, features: np.ndarray, validate: bool = True) -> "Graph":
+        """Return a copy of this graph carrying a new feature matrix."""
+        return replace(self, features=np.asarray(features, dtype=np.float64), validate=validate)
+
+    def with_name(self, name: str) -> "Graph":
+        """Return a copy of this graph with a new name."""
+        return replace(self, name=name)
+
+    def copy(self) -> "Graph":
+        """Deep copy (adjacency and features are duplicated)."""
+        return replace(
+            self,
+            adjacency=self.adjacency.copy(),
+            features=self.features.copy(),
+            labels=None if self.labels is None else self.labels.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` with label node attributes."""
+        import networkx as nx
+
+        graph = nx.from_scipy_sparse_array(self.adjacency)
+        if self.labels is not None:
+            nx.set_node_attributes(
+                graph, {i: int(label) for i, label in enumerate(self.labels)}, "label"
+            )
+        return graph
+
+    def summary(self) -> str:
+        """One-line statistics string (mirrors the paper's Table III rows)."""
+        parts = [
+            f"{self.name}",
+            f"nodes={self.num_nodes}",
+            f"edges={self.num_edges}",
+            f"features={self.num_features}",
+        ]
+        if self.labels is not None:
+            parts.append(f"classes={self.num_classes}")
+        if self.train_mask is not None:
+            parts.append(f"train={int(self.train_mask.sum())}")
+        if self.val_mask is not None:
+            parts.append(f"val={int(self.val_mask.sum())}")
+        if self.test_mask is not None:
+            parts.append(f"test={int(self.test_mask.sum())}")
+        return " ".join(parts)

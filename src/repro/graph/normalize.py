@@ -1,0 +1,64 @@
+"""GCN adjacency normalization.
+
+Two code paths implement the same operator
+``A_n = D^{-1/2} (A + I) D^{-1/2}`` (Kipf & Welling, 2017):
+
+* :func:`gcn_normalize` — sparse, fast, used during GNN training where the
+  adjacency is a constant;
+* :func:`gcn_normalize_dense` — dense and differentiable through the autodiff
+  engine, used by attackers (PEEGA, Metattack, PGD) that need
+  ``∇_A L(A_n, ...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import Tensor, as_tensor
+
+__all__ = ["gcn_normalize", "gcn_normalize_dense", "add_self_loops"]
+
+
+def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I`` as CSR."""
+    n = adjacency.shape[0]
+    return (adjacency + weight * sp.eye(n, format="csr")).tocsr()
+
+
+def gcn_normalize(adjacency: sp.spmatrix, add_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric GCN normalization of a sparse adjacency matrix.
+
+    Isolated nodes (zero degree even after self-loops are disabled) receive a
+    zero row rather than NaNs.
+    """
+    matrix = adjacency.tocsr().astype(np.float64)
+    if add_loops:
+        matrix = add_self_loops(matrix)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    positive = degrees > 0
+    inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
+    scaling = sp.diags(inv_sqrt)
+    return (scaling @ matrix @ scaling).tocsr()
+
+
+def gcn_normalize_dense(adjacency: Union[Tensor, np.ndarray], add_loops: bool = True) -> Tensor:
+    """Differentiable symmetric GCN normalization of a dense adjacency tensor.
+
+    The gradient flows through the degree terms as well, so attack scores
+    account for how adding/removing an edge rescales every incident entry of
+    ``A_n`` — the same behaviour as normalizing inside a PyTorch graph.
+    """
+    adj = as_tensor(adjacency)
+    n = adj.shape[0]
+    if add_loops:
+        adj = adj + Tensor(np.eye(n))
+    degrees = adj.sum(axis=1)
+    inv_sqrt = (degrees + 1e-12) ** -0.5
+    # Row scaling then column scaling via broadcasting.
+    row = inv_sqrt.reshape(n, 1)
+    col = inv_sqrt.reshape(1, n)
+    return adj * row * col

@@ -1,0 +1,152 @@
+"""Serialization: save/load graphs and attack results.
+
+Poisoned graphs are expensive to generate (Table VII), so pipelines cache
+them on disk.  The format is a single ``.npz`` holding the CSR adjacency
+components, dense features, labels, masks, and (for attack results) the
+flip lists and budget metadata — self-contained and dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .attacks.base import AttackBudget, AttackResult
+from .errors import ReproError
+from .graph import EdgeFlip, FeatureFlip, Graph
+
+__all__ = ["save_graph", "load_graph", "save_attack_result", "load_attack_result"]
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class SerializationError(ReproError, ValueError):
+    """Raised when a file is not a valid repro graph/attack archive."""
+
+
+def _graph_payload(graph: Graph, prefix: str = "") -> dict[str, np.ndarray]:
+    adjacency = graph.adjacency.tocsr()
+    payload = {
+        f"{prefix}adj_data": adjacency.data,
+        f"{prefix}adj_indices": adjacency.indices,
+        f"{prefix}adj_indptr": adjacency.indptr,
+        f"{prefix}adj_shape": np.array(adjacency.shape),
+        f"{prefix}features": graph.features,
+    }
+    if graph.labels is not None:
+        payload[f"{prefix}labels"] = graph.labels
+    for mask_name in ("train_mask", "val_mask", "test_mask"):
+        mask = getattr(graph, mask_name)
+        if mask is not None:
+            payload[f"{prefix}{mask_name}"] = mask
+    return payload
+
+
+def _graph_from_payload(data: dict, prefix: str, name: str) -> Graph:
+    try:
+        adjacency = sp.csr_matrix(
+            (
+                data[f"{prefix}adj_data"],
+                data[f"{prefix}adj_indices"],
+                data[f"{prefix}adj_indptr"],
+            ),
+            shape=tuple(data[f"{prefix}adj_shape"]),
+        )
+        features = data[f"{prefix}features"]
+    except KeyError as error:
+        raise SerializationError(f"missing field in archive: {error}") from error
+    return Graph(
+        adjacency=adjacency,
+        features=features,
+        labels=data.get(f"{prefix}labels"),
+        train_mask=data.get(f"{prefix}train_mask"),
+        val_mask=data.get(f"{prefix}val_mask"),
+        test_mask=data.get(f"{prefix}test_mask"),
+        name=name,
+    )
+
+
+def save_graph(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to a ``.npz`` archive."""
+    payload = _graph_payload(graph)
+    payload["meta"] = np.array(
+        json.dumps({"version": _FORMAT_VERSION, "kind": "graph", "name": graph.name})
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        data = {key: archive[key] for key in archive.files}
+    meta = _read_meta(data, expected_kind="graph")
+    return _graph_from_payload(data, prefix="", name=meta.get("name", "graph"))
+
+
+def save_attack_result(result: AttackResult, path: PathLike) -> None:
+    """Write an :class:`AttackResult` (both graphs + flips) to ``.npz``."""
+    payload = _graph_payload(result.original, prefix="orig_")
+    payload.update(_graph_payload(result.poisoned, prefix="pois_"))
+    payload["edge_flips"] = np.array(
+        [(f.u, f.v) for f in result.edge_flips], dtype=np.int64
+    ).reshape(-1, 2)
+    payload["feature_flips"] = np.array(
+        [(f.node, f.dim) for f in result.feature_flips], dtype=np.int64
+    ).reshape(-1, 2)
+    payload["objective_trace"] = np.asarray(result.objective_trace, dtype=np.float64)
+    payload["meta"] = np.array(
+        json.dumps(
+            {
+                "version": _FORMAT_VERSION,
+                "kind": "attack_result",
+                "name": result.original.name,
+                "budget_total": result.budget.total,
+                "feature_cost": result.budget.feature_cost,
+                "runtime_seconds": result.runtime_seconds,
+            }
+        )
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_attack_result(path: PathLike) -> AttackResult:
+    """Read an attack result written by :func:`save_attack_result`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        data = {key: archive[key] for key in archive.files}
+    meta = _read_meta(data, expected_kind="attack_result")
+    name = meta.get("name", "graph")
+    result = AttackResult(
+        original=_graph_from_payload(data, "orig_", name),
+        poisoned=_graph_from_payload(data, "pois_", name),
+        budget=AttackBudget(
+            total=float(meta["budget_total"]),
+            feature_cost=float(meta["feature_cost"]),
+        ),
+        edge_flips=[EdgeFlip(int(u), int(v)) for u, v in data["edge_flips"]],
+        feature_flips=[FeatureFlip(int(n), int(d)) for n, d in data["feature_flips"]],
+        objective_trace=list(data["objective_trace"]),
+        runtime_seconds=float(meta.get("runtime_seconds", 0.0)),
+    )
+    return result
+
+
+def _read_meta(data: dict, expected_kind: str) -> dict:
+    if "meta" not in data:
+        raise SerializationError("not a repro archive (no meta field)")
+    meta = json.loads(str(data["meta"]))
+    if meta.get("kind") != expected_kind:
+        raise SerializationError(
+            f"archive holds a {meta.get('kind')!r}, expected {expected_kind!r}"
+        )
+    if meta.get("version", 0) > _FORMAT_VERSION:
+        raise SerializationError(
+            f"archive version {meta['version']} is newer than supported "
+            f"({_FORMAT_VERSION})"
+        )
+    return meta

@@ -1,0 +1,28 @@
+"""GNN models and training infrastructure."""
+
+from .appnp import APPNP
+from .gat import GAT, GraphAttentionLayer
+from .gcn import GCN, GraphConvolution
+from .metrics import accuracy, confusion_matrix
+from .module import Module
+from .sage import GraphSAGE, mean_aggregator
+from .sgc import SGC
+from .trainer import TrainConfig, TrainResult, evaluate, train_node_classifier
+
+__all__ = [
+    "Module",
+    "GCN",
+    "GraphConvolution",
+    "GAT",
+    "GraphAttentionLayer",
+    "SGC",
+    "GraphSAGE",
+    "mean_aggregator",
+    "APPNP",
+    "TrainConfig",
+    "TrainResult",
+    "train_node_classifier",
+    "evaluate",
+    "accuracy",
+    "confusion_matrix",
+]

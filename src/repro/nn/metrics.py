@@ -1,0 +1,55 @@
+"""Evaluation metrics for node classification."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..tensor import Tensor
+
+__all__ = ["accuracy", "confusion_matrix"]
+
+
+def accuracy(
+    predictions: Union[Tensor, np.ndarray],
+    labels: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> float:
+    """Classification accuracy on the (optionally masked) nodes.
+
+    ``predictions`` may be hard labels ``(n,)`` or logits/probabilities
+    ``(n, c)`` (argmaxed internally).
+    """
+    if isinstance(predictions, Tensor):
+        predictions = predictions.data
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ShapeError(
+            f"predictions shape {predictions.shape} != labels shape {labels.shape}"
+        )
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        predictions, labels = predictions[mask], labels[mask]
+    if len(labels) == 0:
+        raise ShapeError("accuracy over an empty node set is undefined")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """``(c, c)`` matrix with true classes as rows, predictions as columns."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    labels = np.asarray(labels)
+    if num_classes is None:
+        num_classes = int(max(predictions.max(), labels.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix

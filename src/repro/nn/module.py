@@ -1,0 +1,94 @@
+"""Minimal module system for GNN models (parameter registration + modes)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for models: tracks parameters and train/eval mode.
+
+    Parameters are discovered by attribute scanning: any :class:`Tensor`
+    attribute with ``requires_grad=True``, plus parameters of any nested
+    :class:`Module` (also inside list attributes, for layer stacks).
+    """
+
+    def __init__(self) -> None:
+        self.training: bool = True
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors of this module and its children."""
+        return list(self._iter_parameters())
+
+    def _iter_parameters(self) -> Iterator[Tensor]:
+        for value in self.__dict__.values():
+            yield from _extract_params(value)
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and every nested child module."""
+        yield self
+        for value in self.__dict__.values():
+            yield from _extract_modules(value)
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Switch to training mode (enables dropout etc.)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> list[np.ndarray]:
+        """Snapshot of all parameter arrays (copied)."""
+        return [p.data.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        """Restore parameters from :meth:`state_dict` output."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays but model has {len(params)} parameters"
+            )
+        for param, array in zip(params, state):
+            if param.data.shape != array.shape:
+                raise ValueError(
+                    f"parameter shape {param.data.shape} != saved shape {array.shape}"
+                )
+            param.data = array.copy()
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+
+def _extract_params(value: object) -> Iterator[Tensor]:
+    if isinstance(value, Tensor):
+        if value.requires_grad:
+            yield value
+    elif isinstance(value, Module):
+        yield from value._iter_parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _extract_params(item)
+
+
+def _extract_modules(value: object) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield from value.modules()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _extract_modules(item)

@@ -1,0 +1,100 @@
+"""GraphSAGE (Hamilton et al., 2017) — mean-aggregator variant.
+
+Cited by the paper as one of the message-passing family members GNN attacks
+apply to ([5]).  Each layer concatenates a node's own representation with
+the mean of its neighbors' and applies a linear transform:
+
+    h'_v = σ( [h_v ‖ mean_{u∈N_v} h_u] W )
+
+Included as an additional victim architecture for transferability studies
+(the attack surface differs from GCN: no degree renormalization, explicit
+self channel).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import Tensor, functional as F, glorot_uniform, zeros
+from ..utils.rng import SeedLike, ensure_rng
+from .module import Module
+
+__all__ = ["GraphSAGE", "mean_aggregator"]
+
+AdjacencyLike = Union[sp.spmatrix, np.ndarray]
+
+
+def mean_aggregator(adjacency: AdjacencyLike) -> sp.csr_matrix:
+    """Row-stochastic neighbor-averaging operator ``D⁻¹A`` (no self-loops).
+
+    Isolated nodes get a zero row (their neighbor channel is zero and the
+    self channel carries them).
+    """
+    matrix = sp.csr_matrix(adjacency).astype(np.float64)
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    inverse = np.where(degrees > 0, 1.0 / np.maximum(degrees, 1e-12), 0.0)
+    return (sp.diags(inverse) @ matrix).tocsr()
+
+
+class _SAGELayer(Module):
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.weight = glorot_uniform(2 * in_dim, out_dim, rng)
+        self.bias = zeros(out_dim)
+
+    def forward(self, aggregator: sp.csr_matrix, h: Tensor) -> Tensor:
+        neighbor_mean = F.sparse_matmul(aggregator, h)
+        merged = F.concat_rows(h, neighbor_mean)
+        return merged.matmul(self.weight) + self.bias
+
+
+class GraphSAGE(Module):
+    """Two-layer mean-aggregator GraphSAGE for node classification.
+
+    :meth:`forward` accepts the *raw* adjacency (sparse or dense) and builds
+    the row-stochastic aggregator internally, so it is drop-in compatible
+    with the :func:`repro.nn.train_node_classifier` loop when passed
+    ``adjacency=graph.adjacency``.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        hidden_dim: int = 16,
+        dropout: float = 0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rng = ensure_rng(seed)
+        self.layer1 = _SAGELayer(in_dim, hidden_dim, rng)
+        self.layer2 = _SAGELayer(hidden_dim, out_dim, rng)
+        self.dropout = float(dropout)
+        self._dropout_rng = ensure_rng(rng.integers(0, 2**63 - 1))
+        self._aggregator_cache: tuple[int, sp.csr_matrix] | None = None
+
+    def _aggregator(self, adjacency: AdjacencyLike) -> sp.csr_matrix:
+        key = id(adjacency)
+        if self._aggregator_cache is None or self._aggregator_cache[0] != key:
+            self._aggregator_cache = (key, mean_aggregator(adjacency))
+        return self._aggregator_cache[1]
+
+    def forward(self, adjacency: AdjacencyLike, features: Tensor) -> Tensor:
+        """Return raw logits ``(n, out_dim)``."""
+        aggregator = self._aggregator(adjacency)
+        h = features if isinstance(features, Tensor) else Tensor(features)
+        h = F.relu(self.layer1.forward(aggregator, h))
+        h = F.dropout(h, self.dropout, self._dropout_rng, training=self.training)
+        return self.layer2.forward(aggregator, h)
+
+    def predict(self, adjacency: AdjacencyLike, features: Tensor) -> np.ndarray:
+        """Hard label predictions in eval mode."""
+        was_training = self.training
+        self.eval()
+        logits = self.forward(adjacency, features)
+        if was_training:
+            self.train()
+        return np.argmax(logits.data, axis=1)

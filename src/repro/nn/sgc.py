@@ -1,0 +1,57 @@
+"""Simple Graph Convolution (Wu et al., 2019).
+
+``Z = softmax(A_n^K X W)`` — the linearized GCN that PEEGA's surrogate
+(Eq. 7) and GF-Attack's filter view are modelled on.  Included both as a
+victim model for transferability experiments and as the reference point
+that makes the surrogate's fidelity testable.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..tensor import Tensor, functional as F, glorot_uniform, zeros
+from ..utils.rng import SeedLike, ensure_rng
+from .gcn import AdjacencyLike, _propagate
+from .module import Module
+
+__all__ = ["SGC"]
+
+
+class SGC(Module):
+    """K-step propagation followed by one linear layer.
+
+    The adjacency passed to :meth:`forward` must already be GCN-normalized;
+    propagation applies it ``k_hops`` times (no nonlinearity), then a single
+    weight matrix maps to class logits.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        k_hops: int = 2,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if k_hops < 1:
+            raise ValueError(f"k_hops must be >= 1, got {k_hops}")
+        rng = ensure_rng(seed)
+        self.weight = glorot_uniform(in_dim, out_dim, rng)
+        self.bias = zeros(out_dim)
+        self.k_hops = int(k_hops)
+
+    def forward(self, adjacency: AdjacencyLike, features: Tensor) -> Tensor:
+        """Return raw logits ``(n, out_dim)``."""
+        h = features if isinstance(features, Tensor) else Tensor(features)
+        for _ in range(self.k_hops):
+            h = _propagate(adjacency, h)
+        return h.matmul(self.weight) + self.bias
+
+    def predict(self, adjacency: AdjacencyLike, features: Tensor) -> np.ndarray:
+        """Hard label predictions (no dropout, so mode is irrelevant)."""
+        logits = self.forward(adjacency, features)
+        return np.argmax(logits.data, axis=1)

@@ -1,0 +1,5 @@
+"""Linearized GNN surrogate used by black-box attackers."""
+
+from .propagation import linear_propagation, propagation_matrix
+
+__all__ = ["linear_propagation", "propagation_matrix"]

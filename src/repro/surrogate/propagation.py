@@ -1,0 +1,74 @@
+"""The linearized propagation surrogate ``M = A_n^l X`` (paper Eq. 7).
+
+PEEGA replaces the trained GNN with the parameter-free aggregation
+``A_n^l X`` — "the most important step of GNNs" — which is model-agnostic and
+label-free.  This module computes it on either code path:
+
+* sparse constant adjacency (fast, for the unperturbed reference ``M``);
+* dense tensor adjacency (differentiable, for the attack scores).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ConfigError
+from ..graph import gcn_normalize, gcn_normalize_dense
+from ..tensor import Tensor, as_tensor
+
+AdjacencyLike = Union[sp.spmatrix, Tensor, np.ndarray]
+
+__all__ = ["linear_propagation", "propagation_matrix"]
+
+
+def propagation_matrix(adjacency: AdjacencyLike, layers: int = 2) -> Union[sp.csr_matrix, Tensor]:
+    """Return ``A_n^layers`` on the appropriate code path."""
+    if layers < 1:
+        raise ConfigError(f"layers must be >= 1, got {layers}")
+    if sp.issparse(adjacency):
+        normalized = gcn_normalize(adjacency)
+        power = normalized
+        for _ in range(layers - 1):
+            power = power @ normalized
+        return power.tocsr()
+    normalized = gcn_normalize_dense(adjacency)
+    power = normalized
+    for _ in range(layers - 1):
+        power = power.matmul(normalized)
+    return power
+
+
+def linear_propagation(
+    adjacency: AdjacencyLike,
+    features: Union[Tensor, np.ndarray],
+    layers: int = 2,
+) -> Union[np.ndarray, Tensor]:
+    """Compute the surrogate representations ``M = A_n^layers X``.
+
+    Returns a plain array when both inputs are constants (sparse adjacency,
+    ndarray features) and a :class:`Tensor` otherwise.
+    """
+    if layers < 1:
+        raise ConfigError(f"layers must be >= 1, got {layers}")
+    if sp.issparse(adjacency) and not isinstance(features, Tensor):
+        normalized = gcn_normalize(adjacency)
+        out = np.asarray(features, dtype=np.float64)
+        for _ in range(layers):
+            out = normalized @ out
+        return out
+    if sp.issparse(adjacency):
+        from ..tensor.functional import sparse_matmul
+
+        normalized = gcn_normalize(adjacency)
+        out_t = as_tensor(features)
+        for _ in range(layers):
+            out_t = sparse_matmul(normalized, out_t)
+        return out_t
+    normalized = gcn_normalize_dense(adjacency)
+    out_t = as_tensor(features)
+    for _ in range(layers):
+        out_t = normalized.matmul(out_t)
+    return out_t

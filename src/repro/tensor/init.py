@@ -1,0 +1,31 @@
+"""Weight initialization schemes for GNN layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["glorot_uniform", "glorot_normal", "zeros", "uniform"]
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> Tensor:
+    """Glorot/Xavier uniform initialization (the GCN paper's default)."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-limit, limit, size=(fan_in, fan_out)), requires_grad=True)
+
+
+def glorot_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> Tensor:
+    """Glorot/Xavier normal initialization."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return Tensor(rng.normal(0.0, std, size=(fan_in, fan_out)), requires_grad=True)
+
+
+def zeros(*shape: int) -> Tensor:
+    """Zero-initialized trainable tensor (biases)."""
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def uniform(shape: tuple[int, ...], low: float, high: float, rng: np.random.Generator) -> Tensor:
+    """Uniform trainable tensor on ``[low, high)``."""
+    return Tensor(rng.uniform(low, high, size=shape), requires_grad=True)

@@ -1,0 +1,6 @@
+"""Shared utilities: seeding, timing, validation."""
+
+from .rng import ensure_rng, spawn_rngs
+from .timer import Timer
+
+__all__ = ["ensure_rng", "spawn_rngs", "Timer"]

@@ -1,0 +1,166 @@
+"""Baseline attackers: Random, DICE, PGD, MinMax, Metattack, GF-Attack."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.attacks import (
+    DICE,
+    GFAttack,
+    Metattack,
+    MinMaxAttack,
+    PGDAttack,
+    RandomAttack,
+)
+from repro.attacks.pgd import project_budget_box
+from repro.errors import ConfigError
+from repro.graph import structural_distance
+
+
+RATE = 0.08
+
+
+class TestRandomAttack:
+    def test_budget_and_validity(self, small_cora):
+        result = RandomAttack(seed=0).attack(small_cora, perturbation_rate=RATE)
+        result.verify_budget()
+        assert result.num_perturbations == round(RATE * small_cora.num_edges)
+
+    def test_feature_prob_produces_feature_flips(self, small_cora):
+        result = RandomAttack(feature_prob=1.0, seed=0).attack(
+            small_cora, perturbation_rate=RATE
+        )
+        assert len(result.feature_flips) > 0
+        assert len(result.edge_flips) == 0
+
+    def test_invalid_feature_prob(self):
+        with pytest.raises(ValueError):
+            RandomAttack(feature_prob=1.5)
+
+    def test_deterministic(self, small_cora):
+        a = RandomAttack(seed=3).attack(small_cora, perturbation_rate=RATE)
+        b = RandomAttack(seed=3).attack(small_cora, perturbation_rate=RATE)
+        assert a.edge_flips == b.edge_flips
+
+
+class TestDICE:
+    def test_deletes_same_adds_diff(self, small_cora):
+        result = DICE(add_ratio=0.5, seed=0).attack(small_cora, perturbation_rate=RATE)
+        labels = small_cora.labels
+        for flip in result.edge_flips:
+            had_edge = small_cora.has_edge(flip.u, flip.v)
+            if had_edge:
+                assert labels[flip.u] == labels[flip.v]  # deletion of same-label
+            else:
+                assert labels[flip.u] != labels[flip.v]  # addition of diff-label
+
+    def test_requires_labels(self, small_cora):
+        unlabeled = replace(small_cora, labels=None)
+        with pytest.raises(ConfigError):
+            DICE(seed=0).attack(unlabeled, perturbation_rate=RATE)
+
+    def test_add_ratio_validation(self):
+        with pytest.raises(ConfigError):
+            DICE(add_ratio=1.5)
+
+    def test_budget_respected(self, small_cora):
+        result = DICE(seed=0).attack(small_cora, perturbation_rate=RATE)
+        result.verify_budget()
+
+
+class TestProjection:
+    def test_inside_ball_untouched(self):
+        values = np.array([0.1, 0.2, 0.3])
+        np.testing.assert_allclose(project_budget_box(values, budget=5.0), values)
+
+    def test_clips_to_box(self):
+        out = project_budget_box(np.array([-0.5, 1.5]), budget=5.0)
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_projects_to_budget(self):
+        out = project_budget_box(np.array([1.0, 1.0, 1.0, 1.0]), budget=2.0)
+        assert out.sum() == pytest.approx(2.0, abs=1e-4)
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_preserves_order(self):
+        out = project_budget_box(np.array([0.9, 0.5, 0.1]), budget=1.0)
+        assert out[0] >= out[1] >= out[2]
+
+
+class TestWhiteBoxAttacks:
+    @pytest.mark.parametrize("cls", [PGDAttack, MinMaxAttack])
+    def test_budget_and_topology_only(self, small_cora, cls):
+        attacker = cls(steps=10, samples=3, seed=0)
+        result = attacker.attack(small_cora, perturbation_rate=RATE)
+        result.verify_budget()
+        assert result.feature_flips == []
+        assert 0 < len(result.edge_flips) <= round(RATE * small_cora.num_edges)
+
+    def test_requires_labels(self, small_cora):
+        unlabeled = replace(small_cora, labels=None)
+        with pytest.raises(ConfigError):
+            PGDAttack(steps=2, seed=0).attack(unlabeled, perturbation_rate=RATE)
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigError):
+            PGDAttack(steps=0)
+        with pytest.raises(ConfigError):
+            MinMaxAttack(inner_steps=0)
+
+
+class TestMetattack:
+    def test_budget_and_symmetry(self, small_cora):
+        result = Metattack(inner_steps=5, seed=0).attack(small_cora, perturbation_rate=RATE)
+        result.verify_budget()
+        diff = result.poisoned.adjacency - result.poisoned.adjacency.T
+        assert diff.nnz == 0
+        assert structural_distance(
+            small_cora.adjacency, result.poisoned.adjacency
+        ) == len(result.edge_flips)
+
+    def test_feature_attack_optional(self, small_cora):
+        result = Metattack(inner_steps=3, attack_features=True, seed=0).attack(
+            small_cora, perturbation_rate=0.04
+        )
+        result.verify_budget()
+
+    def test_requires_labels(self, small_cora):
+        unlabeled = replace(small_cora, labels=None)
+        with pytest.raises(ConfigError):
+            Metattack(seed=0).attack(unlabeled, perturbation_rate=RATE)
+
+    def test_meta_train_variant(self, small_cora):
+        result = Metattack(inner_steps=3, self_training=False, seed=0).attack(
+            small_cora, perturbation_rate=0.04
+        )
+        assert result.num_perturbations > 0
+
+    def test_objective_trace_recorded(self, small_cora):
+        result = Metattack(inner_steps=3, seed=0).attack(small_cora, perturbation_rate=0.04)
+        assert len(result.objective_trace) == result.num_perturbations
+
+
+class TestGFAttack:
+    def test_budget_and_validity(self, small_cora):
+        attacker = GFAttack(candidate_pool=200, exact_candidates=2, seed=0)
+        result = attacker.attack(small_cora, perturbation_rate=0.04)
+        result.verify_budget()
+        assert len(result.edge_flips) == round(0.04 * small_cora.num_edges)
+        assert result.feature_flips == []
+
+    def test_identity_features_fallback(self, small_polblogs):
+        attacker = GFAttack(candidate_pool=100, exact_candidates=2, seed=0)
+        result = attacker.attack(small_polblogs, perturbation_rate=0.03)
+        assert result.num_perturbations > 0
+
+    def test_objective_trace_recorded_per_flip(self, small_cora):
+        attacker = GFAttack(candidate_pool=200, exact_candidates=2, seed=0)
+        result = attacker.attack(small_cora, perturbation_rate=0.04)
+        assert len(result.objective_trace) == len(result.edge_flips)
+        assert all(np.isfinite(v) for v in result.objective_trace)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            GFAttack(k_power=0)
+        with pytest.raises(ConfigError):
+            GFAttack(top_t_fraction=0.0)

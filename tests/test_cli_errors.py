@@ -1,0 +1,32 @@
+"""CLI error handling: library errors surface as exit code 2, not tracebacks."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestErrorPaths:
+    def test_corrupt_archive_returns_error_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, junk=np.zeros(2))
+        code = main(["info", "--graph", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_jaccard_on_polblogs_returns_error_code(self, tmp_path, capsys):
+        graph_file = tmp_path / "pb.npz"
+        assert main([
+            "dataset", "polblogs", "--scale", "0.07", "--out", str(graph_file)
+        ]) == 0
+        capsys.readouterr()
+        code = main(["defend", "GCN-Jaccard", "--graph", str(graph_file), "--seeds", "1"])
+        assert code == 2
+        assert "not applicable" in capsys.readouterr().err
+
+    def test_missing_file_is_oserror_not_swallowed(self, tmp_path):
+        # Genuine environment errors are not masked as exit-code-2 library
+        # errors — they propagate for the shell/user to see.
+        with pytest.raises(FileNotFoundError):
+            main(["info", "--graph", str(tmp_path / "nope.npz")])

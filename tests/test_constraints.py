@@ -1,0 +1,64 @@
+"""Attacker-node constraints (Fig 7a machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackerNodes, sample_attacker_nodes
+from repro.errors import ConfigError
+
+
+class TestAttackerNodes:
+    def test_node_mask(self):
+        nodes = AttackerNodes(nodes=np.array([1, 3]))
+        mask = nodes.node_mask(5)
+        np.testing.assert_array_equal(mask, [False, True, False, True, False])
+
+    def test_duplicates_removed(self):
+        nodes = AttackerNodes(nodes=np.array([2, 2, 1]))
+        np.testing.assert_array_equal(nodes.nodes, [1, 2])
+
+    def test_edge_mask_any_mode(self):
+        nodes = AttackerNodes(nodes=np.array([0]), mode="any")
+        mask = nodes.edge_mask(3)
+        assert mask[0, 1] and mask[2, 0]
+        assert not mask[1, 2]
+        assert not mask.diagonal().any()
+
+    def test_edge_mask_both_mode(self):
+        nodes = AttackerNodes(nodes=np.array([0, 1]), mode="both")
+        mask = nodes.edge_mask(3)
+        assert mask[0, 1]
+        assert not mask[0, 2]
+
+    def test_feature_mask(self):
+        nodes = AttackerNodes(nodes=np.array([1]))
+        mask = nodes.feature_mask(3, 4)
+        assert mask.shape == (3, 4)
+        assert mask[1].all() and not mask[0].any()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AttackerNodes(nodes=np.array([]), mode="any")
+        with pytest.raises(ConfigError):
+            AttackerNodes(nodes=np.array([1]), mode="some")
+
+
+class TestSampling:
+    def test_sample_size(self, small_cora):
+        nodes = sample_attacker_nodes(small_cora, 0.3, seed=0)
+        assert len(nodes.nodes) == round(0.3 * small_cora.num_nodes)
+
+    def test_full_rate_covers_all(self, small_cora):
+        nodes = sample_attacker_nodes(small_cora, 1.0, seed=0)
+        assert len(nodes.nodes) == small_cora.num_nodes
+
+    def test_deterministic(self, small_cora):
+        a = sample_attacker_nodes(small_cora, 0.5, seed=1)
+        b = sample_attacker_nodes(small_cora, 0.5, seed=1)
+        np.testing.assert_array_equal(a.nodes, b.nodes)
+
+    def test_invalid_rate(self, small_cora):
+        with pytest.raises(ConfigError):
+            sample_attacker_nodes(small_cora, 0.0)
+        with pytest.raises(ConfigError):
+            sample_attacker_nodes(small_cora, 1.2)

@@ -1,0 +1,161 @@
+"""Dataset substrate: generators, registry, splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    load_dataset,
+    split_counts,
+    stratified_split,
+)
+from repro.datasets.synthetic import SyntheticSpec, generate_graph
+from repro.errors import DatasetError
+from repro.graph.properties import edge_homophily, isolated_nodes
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_given_seed(self):
+        spec = SyntheticSpec(num_nodes=100, num_edges=220, num_classes=3, feature_dim=50)
+        g1 = generate_graph(spec, seed=5)
+        g2 = generate_graph(spec, seed=5)
+        assert (g1.adjacency != g2.adjacency).nnz == 0
+        np.testing.assert_array_equal(g1.features, g2.features)
+        np.testing.assert_array_equal(g1.labels, g2.labels)
+
+    def test_different_seeds_differ(self):
+        spec = SyntheticSpec(num_nodes=100, num_edges=220, num_classes=3, feature_dim=50)
+        g1 = generate_graph(spec, seed=1)
+        g2 = generate_graph(spec, seed=2)
+        assert (g1.adjacency != g2.adjacency).nnz > 0
+
+    def test_edge_count_near_target(self):
+        spec = SyntheticSpec(num_nodes=150, num_edges=400, num_classes=4, feature_dim=60)
+        g = generate_graph(spec, seed=0)
+        assert abs(g.num_edges - 400) < 40
+
+    def test_homophily_near_target(self):
+        spec = SyntheticSpec(
+            num_nodes=200, num_edges=500, num_classes=4, feature_dim=60, homophily=0.8
+        )
+        g = generate_graph(spec, seed=0)
+        assert abs(edge_homophily(g) - 0.8) < 0.08
+
+    def test_no_isolated_nodes(self):
+        spec = SyntheticSpec(num_nodes=120, num_edges=160, num_classes=3, feature_dim=40)
+        g = generate_graph(spec, seed=0)
+        assert len(isolated_nodes(g)) == 0
+
+    def test_binary_features_no_empty_rows(self):
+        spec = SyntheticSpec(num_nodes=80, num_edges=160, num_classes=3, feature_dim=40)
+        g = generate_graph(spec, seed=0)
+        assert set(np.unique(g.features)) <= {0.0, 1.0}
+        assert (g.features.sum(axis=1) > 0).all()
+
+    def test_identity_features_when_dim_zero(self):
+        spec = SyntheticSpec(num_nodes=60, num_edges=150, num_classes=2, feature_dim=0)
+        g = generate_graph(spec, seed=0)
+        np.testing.assert_array_equal(g.features, np.eye(60))
+
+    def test_every_class_populated(self):
+        spec = SyntheticSpec(num_nodes=90, num_edges=180, num_classes=6, feature_dim=30)
+        g = generate_graph(spec, seed=0)
+        assert len(np.unique(g.labels)) == 6
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_invariants_hold_for_any_seed(self, seed):
+        spec = SyntheticSpec(num_nodes=60, num_edges=130, num_classes=3, feature_dim=25)
+        g = generate_graph(spec, seed=seed)  # Graph.__post_init__ validates
+        assert g.num_nodes == 60
+        assert 0 < edge_homophily(g) < 1
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(DatasetError):
+            SyntheticSpec(num_nodes=5, num_edges=10, num_classes=6, feature_dim=5)
+        with pytest.raises(DatasetError):
+            SyntheticSpec(num_nodes=100, num_edges=10, num_classes=3, feature_dim=5)
+        with pytest.raises(DatasetError):
+            SyntheticSpec(
+                num_nodes=100, num_edges=200, num_classes=3, feature_dim=5, homophily=1.5
+            )
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["citeseer", "cora", "polblogs"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("pubmed")
+
+    def test_case_insensitive(self):
+        g = load_dataset("CoRa", scale=0.05, seed=0)
+        assert g.name == "cora"
+
+    @pytest.mark.parametrize("name", ["cora", "citeseer", "polblogs"])
+    def test_scaled_statistics(self, name):
+        spec = DATASETS[name]
+        g = load_dataset(name, scale=0.08, seed=0)
+        assert abs(g.num_nodes - max(80, round(spec.num_nodes * 0.08))) <= 1
+        assert g.num_classes == spec.num_classes
+        if spec.feature_dim:
+            assert g.num_features == spec.feature_dim  # dims are never scaled
+        else:
+            assert g.num_features == g.num_nodes  # identity features
+
+    def test_full_scale_spec_matches_table3(self):
+        spec = DATASETS["cora"].scaled(1.0)
+        assert spec.num_nodes == 2485
+        assert abs(spec.num_edges - 5069) <= 5
+        assert spec.feature_dim == 1433
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("cora", scale=0.0)
+        with pytest.raises(DatasetError):
+            load_dataset("cora", scale=1.5)
+
+    def test_masks_attached_and_disjoint(self):
+        g = load_dataset("cora", scale=0.08, seed=0)
+        assert g.train_mask is not None and g.val_mask is not None
+        overlap = g.train_mask & g.val_mask | g.train_mask & g.test_mask
+        assert not overlap.any()
+        assert (g.train_mask | g.val_mask | g.test_mask).all()
+
+
+class TestSplits:
+    def test_split_counts(self):
+        train, val, test = split_counts(100, 0.1, 0.1)
+        assert (train, val, test) == (10, 10, 80)
+
+    def test_split_counts_validation(self):
+        with pytest.raises(DatasetError):
+            split_counts(100, 0.6, 0.5)
+        with pytest.raises(DatasetError):
+            split_counts(100, 0.0, 0.1)
+
+    def test_stratified_every_class_in_train(self, small_cora):
+        labels = small_cora.labels
+        for cls in np.unique(labels):
+            assert (labels[small_cora.train_mask] == cls).any(), cls
+
+    def test_fraction_sizes(self, small_cora):
+        n = small_cora.num_nodes
+        assert abs(int(small_cora.train_mask.sum()) - round(0.1 * n)) <= 2
+        assert abs(int(small_cora.val_mask.sum()) - round(0.1 * n)) <= 2
+
+    def test_requires_labels(self, small_cora):
+        from dataclasses import replace
+
+        unlabeled = replace(small_cora, labels=None, train_mask=None, val_mask=None, test_mask=None)
+        with pytest.raises(DatasetError):
+            stratified_split(unlabeled)
+
+    def test_deterministic(self, small_cora):
+        a = stratified_split(small_cora, seed=11)
+        b = stratified_split(small_cora, seed=11)
+        np.testing.assert_array_equal(a.train_mask, b.train_mask)

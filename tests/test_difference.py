@@ -1,0 +1,100 @@
+"""PEEGA's representation-difference objective (Eqs. 5, 6, 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DifferenceObjective, global_view_difference, self_view_difference
+from repro.errors import ConfigError
+from repro.surrogate import linear_propagation
+from repro.tensor import Tensor
+
+
+class TestSelfView:
+    def test_zero_for_identical_representations(self, tiny_graph):
+        m = linear_propagation(tiny_graph.adjacency, tiny_graph.features, 2)
+        assert self_view_difference(Tensor(m), m, p=2).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_hand_computed_value(self):
+        m_hat = Tensor(np.array([[3.0, 4.0], [0.0, 0.0]]))
+        m_orig = np.zeros((2, 2))
+        assert self_view_difference(m_hat, m_orig, p=2).item() == pytest.approx(5.0, rel=1e-4)
+        assert self_view_difference(m_hat, m_orig, p=1).item() == pytest.approx(7.0, rel=1e-4)
+
+
+class TestGlobalView:
+    def test_hand_computed_value(self):
+        m_hat = Tensor(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        m_orig = np.array([[0.0, 0.0], [0.0, 1.0]])
+        edges = np.array([[0], [1]])  # v=0 has neighbor u=1
+        # ||m_hat[0] - m_orig[1]||_2 = ||(1, -1)|| = sqrt(2)
+        value = global_view_difference(m_hat, m_orig, edges, p=2).item()
+        assert value == pytest.approx(np.sqrt(2.0), rel=1e-4)
+
+    def test_bad_edge_index_shape(self):
+        with pytest.raises(ConfigError):
+            global_view_difference(
+                Tensor(np.zeros((2, 2))), np.zeros((2, 2)), np.zeros((3, 1), dtype=int)
+            )
+
+
+class TestObjective:
+    def test_unperturbed_graph_gives_lambda_only_baseline(self, tiny_graph):
+        objective = DifferenceObjective(tiny_graph, lam=0.0)
+        value = objective(tiny_graph.dense_adjacency(), tiny_graph.features)
+        assert value.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_lambda_adds_global_term(self, tiny_graph):
+        base = DifferenceObjective(tiny_graph, lam=0.0)
+        withl = DifferenceObjective(tiny_graph, lam=1.0)
+        adj = tiny_graph.dense_adjacency()
+        adj_mod = adj.copy()
+        adj_mod[0, 5] = adj_mod[5, 0] = 1.0
+        assert withl(adj_mod, tiny_graph.features).item() > base(
+            adj_mod, tiny_graph.features
+        ).item()
+
+    def test_perturbation_increases_objective(self, tiny_graph):
+        objective = DifferenceObjective(tiny_graph)
+        adj_mod = tiny_graph.dense_adjacency()
+        adj_mod[0, 5] = adj_mod[5, 0] = 1.0
+        clean = objective(tiny_graph.dense_adjacency(), tiny_graph.features).item()
+        perturbed = objective(adj_mod, tiny_graph.features).item()
+        assert perturbed > clean
+
+    def test_gradients_available(self, tiny_graph):
+        objective = DifferenceObjective(tiny_graph)
+        adj = Tensor(tiny_graph.dense_adjacency(), requires_grad=True)
+        feats = Tensor(tiny_graph.features, requires_grad=True)
+        objective(adj, feats).backward()
+        assert adj.grad is not None and feats.grad is not None
+        assert np.isfinite(adj.grad).all() and np.isfinite(feats.grad).all()
+
+    def test_node_mask_restricts_rows(self, tiny_graph):
+        mask = np.zeros(6, dtype=bool)
+        mask[0] = True
+        objective = DifferenceObjective(tiny_graph, lam=0.0, node_mask=mask)
+        # Perturb only node 5's neighborhood: node 0 (2 hops away via 2-3)
+        # changes little, so the masked objective stays near zero while the
+        # unmasked one grows.
+        adj_mod = tiny_graph.dense_adjacency()
+        adj_mod[4, 5] = adj_mod[5, 4] = 0.0
+        masked = objective(adj_mod, tiny_graph.features).item()
+        unmasked = DifferenceObjective(tiny_graph, lam=0.0)(
+            adj_mod, tiny_graph.features
+        ).item()
+        assert masked < unmasked
+
+    def test_node_mask_validation(self, tiny_graph):
+        with pytest.raises(ConfigError):
+            DifferenceObjective(tiny_graph, node_mask=np.zeros(3, dtype=bool))
+        with pytest.raises(ConfigError):
+            DifferenceObjective(tiny_graph, node_mask=np.zeros(6, dtype=bool))
+
+    def test_negative_lambda_rejected(self, tiny_graph):
+        with pytest.raises(ConfigError):
+            DifferenceObjective(tiny_graph, lam=-0.1)
+
+    def test_original_representations_exposed(self, tiny_graph):
+        objective = DifferenceObjective(tiny_graph, layers=2)
+        expected = linear_propagation(tiny_graph.adjacency, tiny_graph.features, 2)
+        np.testing.assert_allclose(objective.original_representations, expected)

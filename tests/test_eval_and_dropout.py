@@ -1,0 +1,71 @@
+"""The evaluate() helper and train/eval-mode behavioural differences."""
+
+import numpy as np
+
+from repro.graph import gcn_normalize
+from repro.nn import GCN, evaluate
+from repro.tensor import Tensor
+
+
+class TestEvaluateHelper:
+    def test_restores_training_mode(self, small_cora):
+        model = GCN(small_cora.num_features, small_cora.num_classes, seed=0).train()
+        evaluate(
+            model,
+            gcn_normalize(small_cora.adjacency),
+            small_cora.features,
+            small_cora.labels,
+            small_cora.val_mask,
+        )
+        assert model.training
+
+    def test_custom_forward_used(self, small_cora):
+        model = GCN(small_cora.num_features, small_cora.num_classes, seed=0)
+        calls = []
+
+        def forward(adjacency, features):
+            calls.append(1)
+            return model.forward(adjacency, features)
+
+        accuracy = evaluate(
+            model,
+            gcn_normalize(small_cora.adjacency),
+            small_cora.features,
+            small_cora.labels,
+            small_cora.test_mask,
+            forward=forward,
+        )
+        assert calls == [1]
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestDropoutModes:
+    def test_training_forward_is_stochastic(self, small_cora):
+        model = GCN(small_cora.num_features, small_cora.num_classes, dropout=0.5, seed=0)
+        model.train()
+        adjacency = gcn_normalize(small_cora.adjacency)
+        x = Tensor(small_cora.features)
+        a = model.forward(adjacency, x).data
+        b = model.forward(adjacency, x).data
+        assert not np.allclose(a, b)
+
+    def test_eval_forward_is_deterministic(self, small_cora):
+        model = GCN(small_cora.num_features, small_cora.num_classes, dropout=0.5, seed=0)
+        model.eval()
+        adjacency = gcn_normalize(small_cora.adjacency)
+        x = Tensor(small_cora.features)
+        a = model.forward(adjacency, x).data
+        b = model.forward(adjacency, x).data
+        np.testing.assert_allclose(a, b)
+
+    def test_eval_forward_builds_no_graph_under_no_grad(self, small_cora):
+        from repro.tensor import no_grad
+
+        model = GCN(small_cora.num_features, small_cora.num_classes, seed=0)
+        model.eval()
+        with no_grad():
+            logits = model.forward(
+                gcn_normalize(small_cora.adjacency), Tensor(small_cora.features)
+            )
+        assert logits._backward is None
+        assert not logits.requires_grad

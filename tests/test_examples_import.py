@@ -1,0 +1,35 @@
+"""Examples must at least parse, import, and expose a main() entry point.
+
+Full runs take minutes each (they are exercised manually / in CI's nightly
+lane); this guards against import-time breakage from library refactors.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} lacks a main()"
+    assert callable(module.main)
+    assert module.__doc__, f"{path.name} lacks a module docstring"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "privacy_publication",
+        "attack_comparison",
+        "robust_training",
+        "targeted_attack",
+    } <= names

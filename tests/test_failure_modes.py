@@ -1,0 +1,133 @@
+"""Failure injection: pathological inputs must fail loudly or degrade
+gracefully — never corrupt results silently."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.attacks import AttackBudget, RandomAttack
+from repro.core import GNAT, PEEGA
+from repro.datasets.splits import stratified_split
+from repro.defenses import RawGCN
+from repro.errors import GraphError
+from repro.graph import Graph, gcn_normalize
+from repro.nn import GCN, TrainConfig, train_node_classifier
+from repro.tensor import Tensor
+
+
+def make_graph(adjacency, features, labels, seed=0):
+    graph = Graph(adjacency=adjacency, features=features, labels=labels)
+    return stratified_split(graph, train_frac=0.2, val_frac=0.2, seed=seed)
+
+
+@pytest.fixture
+def ring_graph():
+    """A 12-node two-class ring — minimal but connected."""
+    n = 12
+    adjacency = sp.lil_matrix((n, n))
+    for i in range(n):
+        adjacency[i, (i + 1) % n] = 1.0
+        adjacency[(i + 1) % n, i] = 1.0
+    features = np.zeros((n, 4))
+    features[: n // 2, :2] = 1.0
+    features[n // 2 :, 2:] = 1.0
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return make_graph(adjacency.tocsr(), features, labels)
+
+
+class TestDegenerateGraphs:
+    def test_edgeless_graph_trains(self):
+        n = 20
+        features = np.eye(n)[:, :10] + np.eye(n)[:, 10:]
+        labels = np.arange(n) % 2
+        graph = make_graph(sp.csr_matrix((n, n)), np.ones((n, 4)), labels)
+        model = GCN(4, 2, seed=0)
+        result = train_node_classifier(model, graph, TrainConfig(epochs=5))
+        assert np.isfinite(result.train_losses).all()
+
+    def test_complete_graph_attack_is_deletion_only(self):
+        n = 10
+        dense = np.ones((n, n)) - np.eye(n)
+        labels = np.arange(n) % 2
+        graph = make_graph(sp.csr_matrix(dense), np.ones((n, 3)), labels)
+        result = PEEGA(attack_features=False, seed=0).attack(
+            graph, budget=AttackBudget(total=3)
+        )
+        for flip in result.edge_flips:
+            assert graph.has_edge(flip.u, flip.v)  # nothing left to add
+
+    def test_single_class_labels_rejected_by_split(self):
+        n = 10
+        adjacency = sp.csr_matrix((n, n))
+        graph = Graph(
+            adjacency=adjacency, features=np.ones((n, 2)), labels=np.zeros(n, int)
+        )
+        split = stratified_split(graph, seed=0)  # one class is fine to split
+        assert split.train_mask.sum() >= 1
+
+    def test_attack_on_ring_preserves_invariants(self, ring_graph):
+        result = RandomAttack(seed=0).attack(ring_graph, perturbation_rate=0.5)
+        result.verify_budget()
+        assert result.poisoned.adjacency.diagonal().sum() == 0
+
+
+class TestCorruptInputs:
+    def test_nan_features_fail_training_loudly(self, ring_graph):
+        bad = ring_graph.with_features(np.full_like(ring_graph.features, np.nan))
+        model = GCN(bad.num_features, 2, seed=0)
+        result = train_node_classifier(model, bad, TrainConfig(epochs=3, patience=3))
+        # Loss must surface the NaN rather than report a fake accuracy.
+        assert np.isnan(result.train_losses).any()
+
+    def test_weighted_adjacency_rejected(self):
+        adjacency = sp.lil_matrix((3, 3))
+        adjacency[0, 1] = 2.0
+        adjacency[1, 0] = 2.0
+        with pytest.raises(GraphError, match="binary"):
+            Graph(adjacency=adjacency.tocsr(), features=np.ones((3, 2)))
+
+    def test_gnat_on_zero_feature_rows(self, ring_graph):
+        # A node with all-zero features must not produce NaNs in the
+        # feature-graph cosine computation.
+        features = ring_graph.features.copy()
+        features[0] = 0.0
+        graph = ring_graph.with_features(features)
+        defender = GNAT(k_f=2, train_config=TrainConfig(epochs=5), seed=0)
+        result = defender.fit(graph)
+        assert np.isfinite(result.test_accuracy)
+
+
+class TestBudgetEdgeCases:
+    def test_budget_larger_than_search_space(self, ring_graph):
+        # More budget than there are possible flips: attack stops early.
+        huge = AttackBudget(total=10_000.0)
+        result = RandomAttack(seed=0).attack(ring_graph, budget=huge)
+        max_pairs = ring_graph.num_nodes * (ring_graph.num_nodes - 1) // 2
+        assert result.num_perturbations <= max_pairs
+
+    def test_fractional_budget_floor(self, ring_graph):
+        result = PEEGA(seed=0).attack(ring_graph, budget=AttackBudget(total=0.5))
+        assert result.num_perturbations == 0  # an edge costs 1 > 0.5
+
+    def test_defender_on_fully_poisoned_graph_stays_bounded(self, ring_graph):
+        poison = RandomAttack(seed=0).attack(ring_graph, perturbation_rate=2.0)
+        accuracy = RawGCN(train_config=TrainConfig(epochs=10), seed=0).fit(
+            poison.poisoned
+        ).test_accuracy
+        assert 0.0 <= accuracy <= 1.0
+
+
+class TestNormalizationEdgeCases:
+    def test_single_node_graph(self):
+        adjacency = sp.csr_matrix((1, 1))
+        normalized = gcn_normalize(adjacency)
+        np.testing.assert_allclose(normalized.toarray(), [[1.0]])
+
+    def test_gcn_forward_on_single_node(self):
+        model = GCN(3, 2, seed=0)
+        model.eval()
+        logits = model.forward(
+            gcn_normalize(sp.csr_matrix((1, 1))), Tensor(np.ones((1, 3)))
+        )
+        assert logits.shape == (1, 2)
+        assert np.isfinite(logits.data).all()

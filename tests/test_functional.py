@@ -1,0 +1,122 @@
+"""Tests for the NN-level functional ops: losses, dropout, sparse matmul,
+masked fill, concatenation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, check_gradients
+from repro.tensor import functional as F
+
+
+class TestCrossEntropy:
+    def test_nll_matches_manual(self):
+        logp = np.log(np.array([[0.7, 0.3], [0.2, 0.8]]))
+        targets = np.array([0, 1])
+        loss = F.nll_loss(Tensor(logp), targets)
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert loss.item() == pytest.approx(expected)
+
+    def test_mask_selects_rows(self):
+        logp = np.log(np.array([[0.7, 0.3], [0.2, 0.8], [0.5, 0.5]]))
+        targets = np.array([0, 1, 0])
+        mask = np.array([True, False, False])
+        loss = F.nll_loss(Tensor(logp), targets, mask)
+        assert loss.item() == pytest.approx(-np.log(0.7))
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ShapeError):
+            F.nll_loss(Tensor(np.zeros((2, 2))), np.array([0, 1]), np.zeros(2, bool))
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            F.nll_loss(Tensor(np.zeros((2, 2))), np.array([0, 1, 0]))
+
+    def test_cross_entropy_gradcheck(self):
+        logits = np.random.default_rng(0).normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 1])
+        mask = np.array([True, True, False, True])
+        check_gradients(lambda a: F.cross_entropy(a, targets, mask), [logits])
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = np.eye(3) * 50.0
+        loss = F.cross_entropy(Tensor(logits), np.arange(3))
+        assert loss.item() < 1e-6
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_zero_rate_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        assert F.dropout(x, 0.0, np.random.default_rng(0)) is x
+
+    def test_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((300, 300)))
+        out = F.dropout(x, 0.4, rng).data
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zeroes_fraction(self):
+        rng = np.random.default_rng(0)
+        out = F.dropout(Tensor(np.ones((200, 200))), 0.3, rng).data
+        assert (out == 0).mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+
+class TestSparseMatmul:
+    def test_matches_dense(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((5, 5)) > 0.6).astype(float)
+        x = rng.normal(size=(5, 3))
+        out = F.sparse_matmul(sp.csr_matrix(dense), Tensor(x))
+        np.testing.assert_allclose(out.data, dense @ x)
+
+    def test_gradient_is_transpose_product(self):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((4, 4)) > 0.5).astype(float)
+        x = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        out = F.sparse_matmul(sp.csr_matrix(dense), x)
+        upstream = rng.normal(size=(4, 2))
+        out.backward(upstream)
+        np.testing.assert_allclose(x.grad, dense.T @ upstream)
+
+    def test_constant_input_builds_no_graph(self):
+        out = F.sparse_matmul(sp.eye(3, format="csr"), Tensor(np.ones((3, 2))))
+        assert not out.requires_grad
+
+
+class TestMaskedFill:
+    def test_forward(self):
+        x = Tensor(np.arange(4.0).reshape(2, 2))
+        mask = np.array([[True, False], [False, True]])
+        out = F.masked_fill(x, mask, -99.0)
+        np.testing.assert_allclose(out.data, [[-99.0, 1.0], [2.0, -99.0]])
+
+    def test_no_gradient_through_masked_entries(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        F.masked_fill(x, mask, 0.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0], [1.0, 1.0]])
+
+
+class TestConcatRows:
+    def test_forward_and_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        out = F.concat_rows(a, b)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ShapeError):
+            F.concat_rows(Tensor(np.ones((2, 2))), Tensor(np.ones((3, 2))))

@@ -1,0 +1,116 @@
+"""The GNAT defender: augmented graph construction and training variants."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import GNAT, ego_graph, feature_graph, topology_graph
+from repro.errors import ConfigError
+from repro.nn import TrainConfig
+
+
+FAST = TrainConfig(epochs=40, patience=40)
+
+
+class TestTopologyGraph:
+    def test_one_hop_is_identity_transform(self, tiny_graph):
+        out = topology_graph(tiny_graph.adjacency, k_hops=1)
+        assert (out != tiny_graph.adjacency).nnz == 0
+
+    def test_two_hop_reachability(self, tiny_graph):
+        out = topology_graph(tiny_graph.adjacency, k_hops=2).toarray()
+        # 0 reaches 3 via 2; 0 does not reach 4 or 5 within 2 hops.
+        assert out[0, 3] == 1.0
+        assert out[0, 4] == 0.0 and out[0, 5] == 0.0
+        # Original edges are retained.
+        assert out[0, 1] == 1.0
+
+    def test_no_self_loops_and_binary(self, tiny_graph):
+        out = topology_graph(tiny_graph.adjacency, k_hops=3)
+        assert out.diagonal().sum() == 0.0
+        assert set(np.unique(out.data)) <= {1.0}
+
+    def test_monotone_in_hops(self, small_cora):
+        two = topology_graph(small_cora.adjacency, 2)
+        three = topology_graph(small_cora.adjacency, 3)
+        assert three.nnz >= two.nnz
+
+
+class TestFeatureGraph:
+    def test_connects_similar_nodes(self, tiny_graph):
+        out = feature_graph(tiny_graph.features, k_similar=2).toarray()
+        # Nodes 0-2 share identical features, as do 3-5; no cross edges.
+        assert out[0, 1] == 1.0 and out[0, 2] == 1.0
+        assert out[:3, 3:].sum() == 0.0
+
+    def test_symmetric_no_loops(self, small_cora):
+        out = feature_graph(small_cora.features, k_similar=5)
+        assert ((out - out.T) != 0).nnz == 0
+        assert out.diagonal().sum() == 0.0
+
+    def test_k_validation(self, tiny_graph):
+        with pytest.raises(ConfigError):
+            feature_graph(tiny_graph.features, k_similar=0)
+
+
+class TestEgoGraph:
+    def test_adds_weighted_self_loops(self, tiny_graph):
+        out = ego_graph(tiny_graph.adjacency, k_ego=7.0)
+        np.testing.assert_allclose(out.diagonal(), np.full(6, 7.0))
+        assert (sp.triu(out, k=1) != sp.triu(tiny_graph.adjacency, k=1)).nnz == 0
+
+    def test_zero_weight_is_noop(self, tiny_graph):
+        out = ego_graph(tiny_graph.adjacency, k_ego=0.0)
+        assert (out != tiny_graph.adjacency).nnz == 0
+
+    def test_negative_weight_rejected(self, tiny_graph):
+        with pytest.raises(ConfigError):
+            ego_graph(tiny_graph.adjacency, k_ego=-1.0)
+
+
+class TestGNATDefender:
+    def test_views_validation(self):
+        with pytest.raises(ConfigError):
+            GNAT(views="xyz")
+        with pytest.raises(ConfigError):
+            GNAT(views="")
+        with pytest.raises(ConfigError):
+            GNAT(views="tt")
+
+    def test_variant_names(self):
+        assert GNAT(views="tfe").variant_name == "GNAT-t+f+e"
+        assert GNAT(views="te", merge_views=True).variant_name == "GNAT-te"
+        assert GNAT(views="f").variant_name == "GNAT-f"
+
+    def test_build_views_counts(self, small_cora):
+        assert len(GNAT(views="tfe").build_views(small_cora)) == 3
+        assert len(GNAT(views="e").build_views(small_cora)) == 1
+
+    def test_feature_view_rejected_on_identity_features(self, small_polblogs):
+        with pytest.raises(ConfigError, match="identity"):
+            GNAT(views="tfe").build_views(small_polblogs)
+
+    def test_te_views_work_on_identity_features(self, small_polblogs):
+        result = GNAT(views="te", train_config=FAST, seed=0).fit(small_polblogs)
+        assert result.test_accuracy > 0.5
+
+    def test_multiview_fit(self, small_cora):
+        result = GNAT(train_config=FAST, seed=0).fit(small_cora)
+        assert 0.3 <= result.test_accuracy <= 1.0
+        assert result.details["views"] == "tfe"
+        assert result.details["merged"] is False
+
+    def test_merged_fit(self, small_cora):
+        result = GNAT(merge_views=True, train_config=FAST, seed=0).fit(small_cora)
+        assert 0.3 <= result.test_accuracy <= 1.0
+        assert result.details["merged"] is True
+
+    def test_kf_capped_to_graph_size(self, tiny_graph):
+        # k_f larger than n-1 must not crash.
+        result = GNAT(views="f", k_f=50, train_config=FAST, seed=0).fit(tiny_graph)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_deterministic_given_seed(self, small_cora):
+        a = GNAT(train_config=FAST, seed=5).fit(small_cora).test_accuracy
+        b = GNAT(train_config=FAST, seed=5).fit(small_cora).test_accuracy
+        assert a == b

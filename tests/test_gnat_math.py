@@ -1,0 +1,47 @@
+"""GNAT's probability-averaging forward: exact mathematical properties."""
+
+import numpy as np
+
+from repro.core import GNAT
+from repro.graph import Graph
+from repro.nn import TrainConfig
+
+
+class TestProbabilityAveraging:
+    def test_output_is_log_probability(self, small_cora):
+        """exp(forward output) rows must sum to 1 — the trainer's
+        cross-entropy then equals the paper's −ln Z̄[v][y]."""
+        defender = GNAT(train_config=TrainConfig(epochs=1, patience=1), seed=0)
+        # Reach into the fit to grab one forward pass: reproduce the
+        # construction (single epoch keeps it cheap).
+        result = defender.fit(small_cora)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+        # Direct check of the math with a fresh instance.
+        from repro.core.gnat import _normalize_weighted
+        from repro.nn import GCN
+        from repro.tensor import Tensor
+        from repro.tensor import functional as F
+
+        views = defender.build_views(small_cora)
+        operators = [_normalize_weighted(v) for v in views]
+        model = GCN(small_cora.num_features, small_cora.num_classes, dropout=0.0, seed=0)
+        model.eval()
+        probs = F.softmax(model.forward(operators[0], Tensor(small_cora.features)), axis=1)
+        for op in operators[1:]:
+            probs = probs + F.softmax(model.forward(op, Tensor(small_cora.features)), axis=1)
+        log_mean = (probs * (1.0 / len(operators)) + 1e-12).log()
+        row_mass = np.exp(log_mean.data).sum(axis=1)
+        np.testing.assert_allclose(row_mass, np.ones(small_cora.num_nodes), atol=1e-6)
+
+    def test_single_view_reduces_to_plain_gcn_prediction(self, small_cora):
+        """With one view and the original adjacency, GNAT-t (k_t=1) predicts
+        exactly like the plain GCN trained the same way (same seed), because
+        log∘softmax preserves the argmax."""
+        from repro.defenses import RawGCN
+
+        gnat = GNAT(views="t", k_t=1, train_config=TrainConfig(epochs=30, patience=30), seed=3)
+        gcn = RawGCN(train_config=TrainConfig(epochs=30, patience=30), seed=3)
+        acc_gnat = gnat.fit(small_cora).test_accuracy
+        acc_gcn = gcn.fit(small_cora).test_accuracy
+        assert acc_gnat == acc_gcn

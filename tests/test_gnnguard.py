@@ -1,0 +1,58 @@
+"""GNNGuard similarity-pruning defense."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.defenses import GNNGuard, similarity_weights
+from repro.nn import TrainConfig
+
+FAST = TrainConfig(epochs=40, patience=40)
+
+
+class TestSimilarityWeights:
+    def test_prunes_dissimilar_edges(self, tiny_graph):
+        # Bridge (2, 3) connects orthogonal-feature nodes → cos = 0 < 0.1.
+        weights = similarity_weights(tiny_graph.adjacency, tiny_graph.features, 0.1)
+        assert weights[2, 3] == 0.0
+        assert weights[0, 1] > 0.0
+
+    def test_rows_bounded(self, small_cora):
+        weights = similarity_weights(small_cora.adjacency, small_cora.features, 0.1)
+        sums = np.asarray(weights.sum(axis=1)).ravel()
+        assert (sums <= 1.0 + 1e-9).all()
+        assert (sums > 0.0).all()  # self weight keeps every row alive
+
+    def test_low_threshold_keeps_positive_cosine_edges(self, small_cora):
+        weights = similarity_weights(small_cora.adjacency, small_cora.features, -1.0)
+        features = small_cora.features
+        norms = np.linalg.norm(features, axis=1)
+        coo = sp.triu(small_cora.adjacency, k=1).tocoo()
+        for u, v in zip(coo.row, coo.col):
+            cosine = features[u] @ features[v] / (norms[u] * norms[v])
+            if cosine > 1e-9:
+                assert weights[u, v] > 0.0, (u, v)
+
+    def test_fully_pruned_node_falls_back_to_self(self, tiny_graph):
+        # With an impossible threshold everything is pruned; the operator
+        # degenerates to (scaled) self-loops.
+        weights = similarity_weights(tiny_graph.adjacency, tiny_graph.features, 2.0)
+        off_diagonal = weights - sp.diags(weights.diagonal())
+        assert off_diagonal.nnz == 0
+        assert (weights.diagonal() > 0).all()
+
+
+class TestGNNGuardDefender:
+    def test_fit_sane(self, small_cora):
+        result = GNNGuard(train_config=FAST, seed=0).fit(small_cora)
+        assert 0.3 <= result.test_accuracy <= 1.0
+
+    def test_memory_validation(self):
+        with pytest.raises(ValueError):
+            GNNGuard(memory=1.5)
+
+    def test_works_on_identity_features(self, small_polblogs):
+        # Identity features make all neighbor cosines 0 → everything pruned
+        # at layer 1; the self-weight fallback must keep training feasible.
+        result = GNNGuard(train_config=FAST, seed=0).fit(small_polblogs)
+        assert 0.0 <= result.test_accuracy <= 1.0

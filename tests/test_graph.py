@@ -1,0 +1,114 @@
+"""Graph container invariants and accessors."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph import Graph
+
+
+def make_adjacency(edges, n):
+    m = sp.lil_matrix((n, n))
+    for u, v in edges:
+        m[u, v] = 1.0
+        m[v, u] = 1.0
+    return m.tocsr()
+
+
+class TestInvariants:
+    def test_rejects_self_loops(self):
+        adj = sp.eye(3, format="csr")
+        with pytest.raises(GraphError, match="zero diagonal"):
+            Graph(adjacency=adj, features=np.ones((3, 2)))
+
+    def test_rejects_asymmetric(self):
+        adj = sp.lil_matrix((3, 3))
+        adj[0, 1] = 1.0
+        with pytest.raises(GraphError, match="symmetric"):
+            Graph(adjacency=adj.tocsr(), features=np.ones((3, 2)))
+
+    def test_rejects_non_binary(self):
+        adj = sp.lil_matrix((2, 2))
+        adj[0, 1] = 0.5
+        adj[1, 0] = 0.5
+        with pytest.raises(GraphError, match="binary"):
+            Graph(adjacency=adj.tocsr(), features=np.ones((2, 2)))
+
+    def test_rejects_feature_row_mismatch(self):
+        adj = make_adjacency([(0, 1)], 3)
+        with pytest.raises(GraphError):
+            Graph(adjacency=adj, features=np.ones((2, 2)))
+
+    def test_rejects_bad_label_shape(self):
+        adj = make_adjacency([(0, 1)], 2)
+        with pytest.raises(GraphError):
+            Graph(adjacency=adj, features=np.ones((2, 2)), labels=np.array([0]))
+
+    def test_rejects_bad_mask_shape(self):
+        adj = make_adjacency([(0, 1)], 2)
+        with pytest.raises(GraphError):
+            Graph(adjacency=adj, features=np.ones((2, 2)), train_mask=np.ones(3, bool))
+
+    def test_dense_input_accepted(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        g = Graph(adjacency=dense, features=np.ones((2, 1)))
+        assert g.num_edges == 1
+
+
+class TestAccessors:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.num_nodes == 6
+        assert tiny_graph.num_edges == 7
+        assert tiny_graph.num_features == 4
+        assert tiny_graph.num_classes == 2
+
+    def test_degrees(self, tiny_graph):
+        np.testing.assert_allclose(tiny_graph.degrees(), [2, 2, 3, 3, 2, 2])
+
+    def test_neighbors(self, tiny_graph):
+        assert set(tiny_graph.neighbors(2)) == {0, 1, 3}
+
+    def test_edge_list_canonical(self, tiny_graph):
+        edges = tiny_graph.edge_list()
+        assert len(edges) == 7
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(2, 3)
+        assert tiny_graph.has_edge(3, 2)
+        assert not tiny_graph.has_edge(0, 5)
+
+    def test_num_classes_requires_labels(self):
+        g = Graph(adjacency=make_adjacency([(0, 1)], 2), features=np.ones((2, 1)))
+        with pytest.raises(GraphError):
+            g.num_classes
+
+    def test_summary_contains_stats(self, tiny_graph):
+        text = tiny_graph.summary()
+        assert "nodes=6" in text and "edges=7" in text and "classes=2" in text
+
+
+class TestFunctionalUpdates:
+    def test_with_adjacency_keeps_other_fields(self, tiny_graph):
+        new_adj = make_adjacency([(0, 1)], 6)
+        g2 = tiny_graph.with_adjacency(new_adj)
+        assert g2.num_edges == 1
+        np.testing.assert_array_equal(g2.labels, tiny_graph.labels)
+        np.testing.assert_array_equal(g2.features, tiny_graph.features)
+
+    def test_with_features(self, tiny_graph):
+        g2 = tiny_graph.with_features(np.zeros((6, 9)))
+        assert g2.num_features == 9
+        assert g2.num_edges == tiny_graph.num_edges
+
+    def test_copy_is_deep(self, tiny_graph):
+        g2 = tiny_graph.copy()
+        g2.features[0, 0] = 42.0
+        assert tiny_graph.features[0, 0] != 42.0
+
+    def test_to_networkx(self, tiny_graph):
+        nx_graph = tiny_graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 6
+        assert nx_graph.number_of_edges() == 7
+        assert nx_graph.nodes[0]["label"] == 0

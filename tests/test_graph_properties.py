@@ -1,0 +1,80 @@
+"""Structural property helpers: degree histograms, components, isolation."""
+
+import numpy as np
+import scipy.sparse as sp
+
+import repro
+from repro.graph import (
+    Graph,
+    degree_histogram,
+    isolated_nodes,
+    largest_connected_component,
+)
+
+
+def graph_from_edges(edges, n, labels=None):
+    m = sp.lil_matrix((n, n))
+    for u, v in edges:
+        m[u, v] = 1.0
+        m[v, u] = 1.0
+    return Graph(adjacency=m.tocsr(), features=np.ones((n, 1)), labels=labels)
+
+
+class TestDegreeHistogram:
+    def test_counts(self, tiny_graph):
+        histogram = degree_histogram(tiny_graph)
+        # degrees are [2, 2, 3, 3, 2, 2] → four 2s, two 3s.
+        assert histogram[2] == 4
+        assert histogram[3] == 2
+        assert histogram.sum() == 6
+
+    def test_isolated_counted_at_zero(self):
+        g = graph_from_edges([(0, 1)], 3)
+        assert degree_histogram(g)[0] == 1
+
+
+class TestConnectedComponents:
+    def test_single_component(self, tiny_graph):
+        assert largest_connected_component(tiny_graph).all()
+
+    def test_two_components_picks_larger(self):
+        g = graph_from_edges([(0, 1), (1, 2), (3, 4)], 5)
+        mask = largest_connected_component(g)
+        np.testing.assert_array_equal(mask, [True, True, True, False, False])
+
+
+class TestIsolatedNodes:
+    def test_none_isolated(self, tiny_graph):
+        assert len(isolated_nodes(tiny_graph)) == 0
+
+    def test_finds_isolated(self):
+        g = graph_from_edges([(0, 1)], 4)
+        np.testing.assert_array_equal(isolated_nodes(g), [2, 3])
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        assert repro.PEEGA is not None
+        assert repro.GNAT is not None
+        assert callable(repro.load_dataset)
+
+    def test_all_submodules_importable(self):
+        import importlib
+
+        for name in (
+            "tensor", "graph", "datasets", "nn", "surrogate", "core",
+            "attacks", "defenses", "analysis", "experiments", "io", "cli",
+        ):
+            module = importlib.import_module(f"repro.{name}")
+            assert module is not None
+
+    def test_public_api_has_docstrings(self):
+        # Every public item reachable from repro.core must be documented.
+        import repro.core as core
+
+        for name in core.__all__:
+            item = getattr(core, name)
+            assert item.__doc__, f"{name} lacks a docstring"

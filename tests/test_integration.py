@@ -1,0 +1,85 @@
+"""End-to-end integration: the full attack → defense pipeline on small graphs.
+
+These tests assert the paper's *qualitative* claims at miniature scale:
+attacks hurt, PEEGA beats random, GNAT recovers, and the whole pipeline
+stays within budget and determinism guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RandomAttack
+from repro.core import GNAT, PEEGA
+from repro.defenses import RawGCN
+from repro.graph import structural_distance
+from repro.nn import TrainConfig
+
+
+FAST = TrainConfig(epochs=60, patience=60)
+
+
+def gcn_accuracy(graph, seeds=3):
+    return float(
+        np.mean(
+            [RawGCN(train_config=FAST, seed=s).fit(graph).test_accuracy for s in range(seeds)]
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def peega_poisoned(request):
+    small_cora = request.getfixturevalue("small_cora")
+    return PEEGA(seed=0).attack(small_cora, perturbation_rate=0.15)
+
+
+class TestAttackPipeline:
+    def test_attack_reduces_gcn_accuracy(self, small_cora, peega_poisoned):
+        clean = gcn_accuracy(small_cora)
+        poisoned = gcn_accuracy(peega_poisoned.poisoned)
+        assert poisoned < clean + 0.01, (clean, poisoned)
+
+    def test_peega_beats_random(self, small_cora, peega_poisoned):
+        random_poison = RandomAttack(seed=0).attack(
+            small_cora, perturbation_rate=0.15
+        ).poisoned
+        assert gcn_accuracy(peega_poisoned.poisoned) <= gcn_accuracy(random_poison) + 0.02
+
+    def test_budget_verified_end_to_end(self, small_cora, peega_poisoned):
+        delta = round(0.15 * small_cora.num_edges)
+        spent = structural_distance(
+            small_cora.adjacency, peega_poisoned.poisoned.adjacency
+        ) + len(peega_poisoned.feature_flips)
+        assert spent == delta
+
+    def test_black_box_contract(self):
+        # PEEGA's access flags document the paper's Table I row.
+        attacker = PEEGA()
+        assert not attacker.requires_labels
+        assert not attacker.requires_model
+        assert not attacker.requires_predictions
+
+
+class TestDefensePipeline:
+    def test_gnat_recovers_over_gcn(self, peega_poisoned):
+        poisoned = peega_poisoned.poisoned
+        gcn = gcn_accuracy(poisoned)
+        gnat = float(
+            np.mean(
+                [
+                    GNAT(train_config=FAST, seed=s).fit(poisoned).test_accuracy
+                    for s in range(3)
+                ]
+            )
+        )
+        assert gnat >= gcn - 0.03, (gcn, gnat)
+
+    def test_gnat_trains_on_clean_graph_too(self, small_cora):
+        result = GNAT(train_config=FAST, seed=0).fit(small_cora)
+        assert result.test_accuracy > 1.5 / small_cora.num_classes
+
+    def test_full_pipeline_deterministic(self, small_cora):
+        def run():
+            poisoned = PEEGA(seed=1).attack(small_cora, perturbation_rate=0.1).poisoned
+            return GNAT(train_config=FAST, seed=1).fit(poisoned).test_accuracy
+
+        assert run() == run()

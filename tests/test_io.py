@@ -1,0 +1,72 @@
+"""Serialization round-trips for graphs and attack results."""
+
+import numpy as np
+import pytest
+
+from repro.core import PEEGA
+from repro.io import (
+    SerializationError,
+    load_attack_result,
+    load_graph,
+    save_attack_result,
+    save_graph,
+)
+
+
+class TestGraphRoundtrip:
+    def test_full_roundtrip(self, small_cora, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph(small_cora, path)
+        loaded = load_graph(path)
+        assert (loaded.adjacency != small_cora.adjacency).nnz == 0
+        np.testing.assert_array_equal(loaded.features, small_cora.features)
+        np.testing.assert_array_equal(loaded.labels, small_cora.labels)
+        np.testing.assert_array_equal(loaded.train_mask, small_cora.train_mask)
+        assert loaded.name == small_cora.name
+
+    def test_unlabeled_graph_roundtrip(self, small_cora, tmp_path):
+        from dataclasses import replace
+
+        bare = replace(
+            small_cora, labels=None, train_mask=None, val_mask=None, test_mask=None
+        )
+        path = tmp_path / "bare.npz"
+        save_graph(bare, path)
+        loaded = load_graph(path)
+        assert loaded.labels is None
+        assert loaded.train_mask is None
+
+    def test_wrong_kind_rejected(self, small_cora, tmp_path):
+        path = tmp_path / "attack.npz"
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.02)
+        save_attack_result(result, path)
+        with pytest.raises(SerializationError, match="expected 'graph'"):
+            load_graph(path)
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(SerializationError, match="no meta"):
+            load_graph(path)
+
+
+class TestAttackResultRoundtrip:
+    def test_full_roundtrip(self, small_cora, tmp_path):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.05)
+        path = tmp_path / "attack.npz"
+        save_attack_result(result, path)
+        loaded = load_attack_result(path)
+        assert loaded.edge_flips == result.edge_flips
+        assert loaded.feature_flips == result.feature_flips
+        assert loaded.budget.total == result.budget.total
+        assert (loaded.poisoned.adjacency != result.poisoned.adjacency).nnz == 0
+        np.testing.assert_allclose(loaded.objective_trace, result.objective_trace)
+        loaded.verify_budget()  # invariants survive the roundtrip
+
+    def test_empty_attack_roundtrip(self, small_cora, tmp_path):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.0)
+        path = tmp_path / "noop.npz"
+        save_attack_result(result, path)
+        loaded = load_attack_result(path)
+        assert loaded.edge_flips == []
+        assert loaded.feature_flips == []

@@ -1,0 +1,101 @@
+"""Nettack (targeted attacker) and SGC (linear victim model)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.attacks import AttackBudget, Nettack
+from repro.errors import ConfigError
+from repro.graph import gcn_normalize
+from repro.nn import SGC, TrainConfig, train_node_classifier
+from repro.surrogate import linear_propagation
+from repro.tensor import Tensor
+
+
+class TestSGC:
+    def test_output_shape(self, small_cora):
+        model = SGC(small_cora.num_features, small_cora.num_classes, seed=0)
+        logits = model.forward(
+            gcn_normalize(small_cora.adjacency), Tensor(small_cora.features)
+        )
+        assert logits.shape == (small_cora.num_nodes, small_cora.num_classes)
+
+    def test_matches_surrogate_propagation(self, small_cora):
+        # SGC's propagation IS the paper's surrogate: A_n^K X then linear.
+        model = SGC(small_cora.num_features, small_cora.num_classes, k_hops=2, seed=0)
+        normalized = gcn_normalize(small_cora.adjacency)
+        logits = model.forward(normalized, Tensor(small_cora.features)).data
+        propagated = linear_propagation(small_cora.adjacency, small_cora.features, 2)
+        expected = propagated @ model.weight.data + model.bias.data
+        np.testing.assert_allclose(logits, expected, atol=1e-9)
+
+    def test_trains(self, small_cora):
+        model = SGC(small_cora.num_features, small_cora.num_classes, seed=0)
+        result = train_node_classifier(model, small_cora, TrainConfig(epochs=60))
+        assert result.test_accuracy > 1.5 / small_cora.num_classes
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            SGC(4, 2, k_hops=0)
+
+
+class TestNettack:
+    def test_requires_target(self, small_cora):
+        with pytest.raises(ConfigError, match="target"):
+            Nettack(seed=0).attack(small_cora, budget=AttackBudget(total=2))
+
+    def test_target_range_validated(self, small_cora):
+        attacker = Nettack(target=10_000, seed=0)
+        with pytest.raises(ConfigError, match="out of range"):
+            attacker.attack(small_cora, budget=AttackBudget(total=2))
+
+    def test_requires_labels(self, small_cora):
+        attacker = Nettack(target=0, seed=0)
+        with pytest.raises(ConfigError):
+            attacker.attack(replace(small_cora, labels=None), budget=AttackBudget(total=2))
+
+    def test_perturbations_touch_attacker_nodes_only(self, small_cora):
+        victim = int(np.flatnonzero(small_cora.degrees() >= 2)[0])
+        result = Nettack(target=victim, influencers=0, seed=0).attack(
+            small_cora, budget=AttackBudget(total=4)
+        )
+        for flip in result.edge_flips:
+            assert victim in (flip.u, flip.v)
+        for flip in result.feature_flips:
+            assert flip.node == victim
+
+    def test_margin_decreases(self, small_cora):
+        victim = int(np.flatnonzero(small_cora.degrees() >= 2)[0])
+        result = Nettack(target=victim, seed=0).attack(
+            small_cora, budget=AttackBudget(total=4)
+        )
+        # objective_trace stores −margin, so it must be non-decreasing.
+        trace = result.objective_trace
+        assert len(trace) >= 2
+        assert trace[-1] >= trace[0] - 1e-9
+
+    def test_budget_respected(self, small_cora):
+        victim = int(np.flatnonzero(small_cora.degrees() >= 2)[0])
+        result = Nettack(target=victim, seed=0).attack(
+            small_cora, budget=AttackBudget(total=3)
+        )
+        result.verify_budget()
+        assert result.num_perturbations <= 3
+
+    def test_never_disconnects_nodes(self, small_cora):
+        victim = int(np.argmin(small_cora.degrees()))
+        result = Nettack(target=victim, attack_features=False, seed=0).attack(
+            small_cora, budget=AttackBudget(total=6)
+        )
+        assert result.poisoned.degrees().min() >= 1
+
+    def test_influencer_mode(self, small_cora):
+        victim = int(np.flatnonzero(small_cora.degrees() >= 3)[0])
+        result = Nettack(target=victim, influencers=2, seed=0).attack(
+            small_cora, budget=AttackBudget(total=4)
+        )
+        assert result.num_perturbations > 0
+
+    def test_influencers_validation(self):
+        with pytest.raises(ConfigError):
+            Nettack(target=0, influencers=-1)

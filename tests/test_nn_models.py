@@ -1,0 +1,140 @@
+"""GCN / GAT models and the module system."""
+
+import numpy as np
+import pytest
+
+from repro.graph import gcn_normalize
+from repro.nn import GAT, GCN, Module, TrainConfig, train_node_classifier
+from repro.tensor import Tensor, glorot_uniform
+
+
+class TestModuleSystem:
+    def test_parameter_discovery_nested_and_lists(self):
+        rng = np.random.default_rng(0)
+
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = glorot_uniform(2, 2, rng)
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.stack = [Inner(), Inner()]
+                self.w = glorot_uniform(3, 3, rng)
+                self.constant = Tensor(np.zeros(2))  # not trainable
+
+        model = Outer()
+        assert len(model.parameters()) == 4
+        assert len(list(model.modules())) == 4  # outer + 3 inners
+
+    def test_train_eval_propagates(self):
+        model = GCN(4, 2, seed=0)
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        model = GCN(4, 3, seed=0)
+        state = model.state_dict()
+        for p in model.parameters():
+            p.data += 1.0
+        model.load_state_dict(state)
+        for p, saved in zip(model.parameters(), state):
+            np.testing.assert_array_equal(p.data, saved)
+
+    def test_load_state_dict_validates(self):
+        model = GCN(4, 3, seed=0)
+        with pytest.raises(ValueError):
+            model.load_state_dict([np.zeros(2)])
+
+    def test_zero_grad(self):
+        model = GCN(4, 3, seed=0)
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestGCN:
+    def test_output_shape(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, 2, hidden_dim=8, seed=0)
+        logits = model.forward(gcn_normalize(tiny_graph.adjacency), Tensor(tiny_graph.features))
+        assert logits.shape == (6, 2)
+
+    def test_layer_count(self):
+        assert len(GCN(4, 2, num_layers=1, seed=0).layers) == 1
+        assert len(GCN(4, 2, num_layers=4, seed=0).layers) == 4
+        with pytest.raises(ValueError):
+            GCN(4, 2, num_layers=0)
+
+    def test_dense_and_sparse_paths_agree(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, 2, dropout=0.0, seed=0)
+        model.eval()
+        sparse_adj = gcn_normalize(tiny_graph.adjacency)
+        dense_adj = Tensor(sparse_adj.toarray())
+        x = Tensor(tiny_graph.features)
+        np.testing.assert_allclose(
+            model.forward(sparse_adj, x).data,
+            model.forward(dense_adj, x).data,
+            atol=1e-10,
+        )
+
+    def test_overfits_tiny_graph(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, 2, dropout=0.0, seed=0)
+        result = train_node_classifier(
+            model, tiny_graph, TrainConfig(epochs=300, patience=300)
+        )
+        predictions = model.predict(gcn_normalize(tiny_graph.adjacency), Tensor(tiny_graph.features))
+        # The bridge node (2) is genuinely ambiguous; everyone else must fit.
+        assert (predictions == tiny_graph.labels).mean() >= 5 / 6
+        assert result.test_accuracy >= 0.5
+
+    def test_predict_returns_int_labels(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, 2, seed=0)
+        preds = model.predict(gcn_normalize(tiny_graph.adjacency), Tensor(tiny_graph.features))
+        assert preds.shape == (6,)
+        assert preds.dtype.kind == "i"
+
+    def test_predict_restores_training_mode(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, 2, seed=0).train()
+        model.predict(gcn_normalize(tiny_graph.adjacency), Tensor(tiny_graph.features))
+        assert model.training
+
+    def test_deterministic_init(self):
+        a = GCN(4, 2, seed=42)
+        b = GCN(4, 2, seed=42)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestGAT:
+    def test_output_shape(self, tiny_graph):
+        model = GAT(tiny_graph.num_features, 2, hidden_dim=4, num_heads=2, seed=0)
+        logits = model.forward(tiny_graph.adjacency, Tensor(tiny_graph.features))
+        assert logits.shape == (6, 2)
+
+    def test_attention_respects_support(self, tiny_graph):
+        # Isolated node pairs must not attend to each other: attention over
+        # the support mask means changing a non-neighbor's features leaves a
+        # node's logits unchanged (2-hop via shared neighbors aside).
+        model = GAT(tiny_graph.num_features, 2, hidden_dim=4, num_heads=1, dropout=0.0, seed=0)
+        model.eval()
+        x = tiny_graph.features.copy()
+        base = model.forward(tiny_graph.adjacency, Tensor(x)).data
+        x2 = x.copy()
+        x2[5] += 10.0  # node 5 is not within 2 hops of node 0
+        out = model.forward(tiny_graph.adjacency, Tensor(x2)).data
+        np.testing.assert_allclose(base[0], out[0], atol=1e-9)
+        assert not np.allclose(base[5], out[5])
+
+    def test_trains_on_tiny_graph(self, tiny_graph):
+        model = GAT(tiny_graph.num_features, 2, hidden_dim=4, num_heads=2, dropout=0.0, seed=0)
+        result = train_node_classifier(model, tiny_graph, TrainConfig(epochs=60))
+        assert result.test_accuracy >= 0.5
+
+    def test_head_count(self):
+        model = GAT(4, 2, num_heads=3, seed=0)
+        assert len(model.heads) == 3

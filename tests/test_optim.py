@@ -1,0 +1,96 @@
+"""Optimizer behaviour: convergence on quadratics, weight decay, validation."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import SGD, Adam, Tensor
+
+
+def quadratic_loss(param: Tensor, target: np.ndarray) -> Tensor:
+    diff = param - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.zeros(3), requires_grad=True)
+        target = np.array([1.0, -2.0, 0.5])
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(param, target).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Tensor(np.zeros(3), requires_grad=True)
+            target = np.array([5.0, 5.0, 5.0])
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(param, target).backward()
+                opt.step()
+            return np.abs(param.data - target).sum()
+
+        assert run(0.9) < run(0.0)
+
+    def test_missing_grad_treated_as_zero(self):
+        param = Tensor(np.ones(2), requires_grad=True)
+        SGD([param], lr=0.5).step()
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.full(4, 10.0), requires_grad=True)
+        target = np.array([0.0, 1.0, 2.0, 3.0])
+        opt = Adam([param], lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(param, target).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        def solve(weight_decay):
+            param = Tensor(np.zeros(1), requires_grad=True)
+            opt = Adam([param], lr=0.05, weight_decay=weight_decay)
+            for _ in range(500):
+                opt.zero_grad()
+                quadratic_loss(param, np.array([2.0])).backward()
+                opt.step()
+            return param.data[0]
+
+        assert abs(solve(1.0)) < abs(solve(0.0))
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first update ≈ lr * sign(grad).
+        param = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([param], lr=0.1)
+        opt.zero_grad()
+        (param * 4.0).sum().backward()
+        opt.step()
+        assert param.data[0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], betas=(1.0, 0.9))
+
+
+class TestValidation:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_negative_weight_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.1, weight_decay=-1.0)

@@ -1,0 +1,85 @@
+"""Sanity of the machine-readable paper transcription."""
+
+import pytest
+
+from repro.datasets import DATASETS
+from repro.experiments.paper import (
+    TABLE3_DATASETS,
+    TABLE7_ATTACK_SECONDS,
+    TABLE8_DEFENSE_SECONDS,
+    TABLE9_GNAT_ABLATION_CORA,
+    paper_accuracy_table,
+    shape_claims,
+)
+
+
+class TestTable3Consistency:
+    @pytest.mark.parametrize("name", ["cora", "citeseer", "polblogs"])
+    def test_registry_matches_paper_statistics(self, name):
+        paper = TABLE3_DATASETS[name]
+        spec = DATASETS[name]
+        assert spec.num_nodes == paper["nodes"]
+        assert spec.num_edges == paper["edges"]
+        assert spec.num_classes == paper["classes"]
+        expected_features = paper["features"] if name != "polblogs" else 0
+        assert spec.feature_dim == expected_features
+
+
+class TestAccuracyTables:
+    @pytest.mark.parametrize("dataset", ["cora", "citeseer", "polblogs"])
+    def test_rows_and_ranges(self, dataset):
+        table = paper_accuracy_table(dataset)
+        assert set(table) == {
+            "Clean", "PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA"
+        }
+        for row in table.values():
+            for value in row.values():
+                assert 50.0 < value < 100.0
+
+    def test_polblogs_has_no_jaccard(self):
+        assert "GCN-Jaccard" not in paper_accuracy_table("polblogs")["Clean"]
+
+    @pytest.mark.parametrize("dataset", ["cora", "citeseer", "polblogs"])
+    def test_all_shape_claims_hold_on_paper_numbers(self, dataset):
+        for claim, holds in shape_claims(dataset):
+            assert holds, f"{dataset}: paper numbers violate claim {claim!r}?"
+
+
+class TestTimingTables:
+    def test_peega_fastest_on_citation_graphs(self):
+        for dataset in ("cora", "citeseer"):
+            peega = TABLE7_ATTACK_SECONDS["PEEGA"][dataset]
+            assert all(
+                peega <= times[dataset]
+                for name, times in TABLE7_ATTACK_SECONDS.items()
+                if name != "PEEGA"
+            )
+
+    def test_prognn_slowest_defender_everywhere(self):
+        for dataset in ("cora", "citeseer", "polblogs"):
+            prognn = TABLE8_DEFENSE_SECONDS["Pro-GNN"][dataset]
+            assert all(
+                prognn >= times[dataset]
+                for name, times in TABLE8_DEFENSE_SECONDS.items()
+            )
+
+    def test_gnat_close_to_gcn(self):
+        for dataset in ("cora", "citeseer", "polblogs"):
+            ratio = (
+                TABLE8_DEFENSE_SECONDS["GNAT"][dataset]
+                / TABLE8_DEFENSE_SECONDS["GCN"][dataset]
+            )
+            assert ratio < 2.0
+
+
+class TestAblationTable:
+    def test_multiview_beats_merged(self):
+        table = TABLE9_GNAT_ABLATION_CORA
+        assert table["GNAT-t+f"] > table["GNAT-tf"]
+        assert table["GNAT-t+e"] > table["GNAT-te"]
+        assert table["GNAT-f+e"] > table["GNAT-fe"]
+        assert table["GNAT-t+f+e"] > table["GNAT-tfe"]
+
+    def test_full_combination_is_best(self):
+        table = TABLE9_GNAT_ABLATION_CORA
+        assert max(table, key=table.get) == "GNAT-t+f+e"

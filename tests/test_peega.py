@@ -1,0 +1,156 @@
+"""The PEEGA attacker: budgets, constraints, attack types, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackBudget, AttackerNodes
+from repro.core import PEEGA
+from repro.errors import BudgetError, ConfigError
+from repro.graph import structural_distance
+
+
+class TestBudget:
+    def test_exact_budget_spent(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.1)
+        delta = round(0.1 * small_cora.num_edges)
+        assert result.num_perturbations == delta
+        result.verify_budget()
+
+    def test_explicit_budget(self, small_cora):
+        budget = AttackBudget(total=5.0)
+        result = PEEGA(seed=0).attack(small_cora, budget=budget)
+        assert result.num_perturbations == 5
+
+    def test_zero_budget_is_noop(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.0)
+        assert result.num_perturbations == 0
+        assert structural_distance(small_cora.adjacency, result.poisoned.adjacency) == 0
+
+    def test_budget_or_rate_required(self, small_cora):
+        with pytest.raises(BudgetError):
+            PEEGA(seed=0).attack(small_cora)
+        with pytest.raises(BudgetError):
+            PEEGA(seed=0).attack(
+                small_cora, budget=AttackBudget(total=3), perturbation_rate=0.1
+            )
+
+    def test_feature_cost_budget_accounting(self, small_cora):
+        budget = AttackBudget(total=6.0, feature_cost=2.0)
+        result = PEEGA(attack_topology=False, seed=0).attack(small_cora, budget=budget)
+        assert len(result.feature_flips) == 3  # 3 flips × cost 2 = 6
+        result.verify_budget()
+
+
+class TestAttackTypes:
+    def test_topology_only(self, small_cora):
+        result = PEEGA(attack_features=False, seed=0).attack(
+            small_cora, perturbation_rate=0.05
+        )
+        assert result.feature_flips == []
+        assert len(result.edge_flips) > 0
+
+    def test_features_only(self, small_cora):
+        result = PEEGA(attack_topology=False, seed=0).attack(
+            small_cora, perturbation_rate=0.05
+        )
+        assert result.edge_flips == []
+        assert len(result.feature_flips) > 0
+
+    def test_both_disabled_rejected(self):
+        with pytest.raises(ConfigError):
+            PEEGA(attack_topology=False, attack_features=False)
+
+    def test_poisoned_graph_matches_flips(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.05)
+        assert structural_distance(
+            small_cora.adjacency, result.poisoned.adjacency
+        ) == len(result.edge_flips)
+
+    def test_labels_and_masks_carried_over(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.05)
+        np.testing.assert_array_equal(result.poisoned.labels, small_cora.labels)
+        np.testing.assert_array_equal(result.poisoned.train_mask, small_cora.train_mask)
+
+
+class TestSingletonProtection:
+    def test_identity_features_never_fully_wiped(self, small_polblogs):
+        # Budget large enough to delete every self-id bit if unprotected.
+        result = PEEGA(seed=0).attack(
+            small_polblogs, budget=AttackBudget(total=float(small_polblogs.num_nodes + 10))
+        )
+        assert (result.poisoned.features.sum(axis=1) > 0).all()
+
+    def test_no_node_loses_last_bit(self, small_cora):
+        result = PEEGA(attack_topology=False, seed=0).attack(
+            small_cora, perturbation_rate=0.2
+        )
+        assert (result.poisoned.features.sum(axis=1) > 0).all()
+
+
+class TestConstraints:
+    def test_attacker_nodes_respected(self, small_cora):
+        nodes = AttackerNodes(nodes=np.arange(10), mode="any")
+        result = PEEGA(attacker_nodes=nodes, seed=0).attack(
+            small_cora, perturbation_rate=0.05
+        )
+        accessible = set(range(10))
+        for flip in result.edge_flips:
+            assert flip.u in accessible or flip.v in accessible
+        for flip in result.feature_flips:
+            assert flip.node in accessible
+
+    def test_attacker_nodes_both_mode(self, small_cora):
+        nodes = AttackerNodes(nodes=np.arange(15), mode="both")
+        result = PEEGA(attacker_nodes=nodes, seed=0).attack(
+            small_cora, perturbation_rate=0.03
+        )
+        for flip in result.edge_flips:
+            assert flip.u < 15 and flip.v < 15
+
+    def test_restricted_attack_is_weaker_objective(self, small_cora):
+        # Greedy is not globally optimal, so compare with a small tolerance:
+        # restricting the candidate set cannot *systematically* help.
+        free = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.05)
+        constrained = PEEGA(
+            attacker_nodes=AttackerNodes(nodes=np.arange(8)), seed=0
+        ).attack(small_cora, perturbation_rate=0.05)
+        assert constrained.objective_trace[-1] <= free.objective_trace[-1] * 1.05
+
+
+class TestGreedyMechanics:
+    def test_objective_trace_monotone_increasing(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.05)
+        trace = result.objective_trace
+        assert len(trace) >= 2
+        assert all(b >= a - 1e-9 for a, b in zip(trace, trace[1:])), trace
+
+    def test_no_duplicate_flips(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.1)
+        edge_keys = [(min(f.u, f.v), max(f.u, f.v)) for f in result.edge_flips]
+        assert len(edge_keys) == len(set(edge_keys))
+        feat_keys = [(f.node, f.dim) for f in result.feature_flips]
+        assert len(feat_keys) == len(set(feat_keys))
+
+    def test_deterministic(self, small_cora):
+        a = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.05)
+        b = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.05)
+        assert a.edge_flips == b.edge_flips
+        assert a.feature_flips == b.feature_flips
+
+    def test_flips_per_step_budget_respected(self, small_cora):
+        result = PEEGA(flips_per_step=4, seed=0).attack(small_cora, perturbation_rate=0.1)
+        result.verify_budget()
+        assert result.num_perturbations == round(0.1 * small_cora.num_edges)
+
+    def test_flips_per_step_validation(self):
+        with pytest.raises(ConfigError):
+            PEEGA(flips_per_step=0)
+
+    def test_runtime_recorded(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.02)
+        assert result.runtime_seconds > 0
+
+    def test_surrogate_layer_variants_run(self, small_cora):
+        for layers in (1, 3):
+            result = PEEGA(layers=layers, seed=0).attack(small_cora, perturbation_rate=0.02)
+            assert result.num_perturbations > 0

@@ -1,0 +1,86 @@
+"""Cross-module invariants driven by hypothesis.
+
+These tie several subsystems together: whatever random graph the generator
+produces and whatever budget an attacker is given, the structural contracts
+of the paper's formalization must hold.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import edge_difference
+from repro.core import PEEGA, ego_graph, feature_graph, topology_graph
+from repro.datasets import stratified_split
+from repro.datasets.synthetic import SyntheticSpec, generate_graph
+from repro.graph import structural_distance
+
+
+def tiny_random_graph(seed: int):
+    spec = SyntheticSpec(
+        num_nodes=40, num_edges=80, num_classes=3, feature_dim=30, homophily=0.75
+    )
+    return stratified_split(generate_graph(spec, seed=seed), seed=seed)
+
+
+class TestAttackInvariants:
+    @given(st.integers(0, 1000), st.integers(1, 10))
+    @settings(max_examples=8, deadline=None)
+    def test_peega_budget_exact_for_any_graph_and_budget(self, seed, budget):
+        graph = tiny_random_graph(seed)
+        from repro.attacks import AttackBudget
+
+        result = PEEGA(seed=seed).attack(graph, budget=AttackBudget(total=float(budget)))
+        result.verify_budget()
+        assert result.num_perturbations <= budget
+        # The poisoned adjacency stays symmetric, binary, loop-free
+        # (Graph.__post_init__ would raise otherwise, but check explicitly).
+        adj = result.poisoned.adjacency
+        assert (adj != adj.T).nnz == 0
+        assert adj.diagonal().sum() == 0.0
+        assert set(np.unique(adj.data)) <= {1.0}
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=8, deadline=None)
+    def test_edge_difference_matches_structural_distance(self, seed):
+        graph = tiny_random_graph(seed)
+        result = PEEGA(attack_features=False, seed=seed).attack(
+            graph, perturbation_rate=0.1
+        )
+        diff = edge_difference(graph, result.poisoned)
+        assert diff.total == structural_distance(
+            graph.adjacency, result.poisoned.adjacency
+        )
+        assert diff.total == len(result.edge_flips)
+
+
+class TestAugmentationInvariants:
+    @given(st.integers(0, 1000), st.integers(2, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_topology_graph_contains_original_edges(self, seed, hops):
+        graph = tiny_random_graph(seed)
+        augmented = topology_graph(graph.adjacency, hops)
+        missing = graph.adjacency - graph.adjacency.multiply(augmented)
+        assert missing.nnz == 0
+
+    @given(st.integers(0, 1000), st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_feature_graph_degree_bounds(self, seed, k):
+        graph = tiny_random_graph(seed)
+        knn = feature_graph(graph.features, k)
+        degrees = np.asarray(knn.sum(axis=1)).ravel()
+        # Symmetrization can only add edges on top of the k proposals.
+        assert degrees.min() >= k
+        assert knn.diagonal().sum() == 0.0
+
+    @given(st.integers(0, 1000), st.floats(0.0, 20.0))
+    @settings(max_examples=8, deadline=None)
+    def test_ego_graph_diagonal(self, seed, k_ego):
+        graph = tiny_random_graph(seed)
+        ego = ego_graph(graph.adjacency, k_ego)
+        np.testing.assert_allclose(
+            ego.diagonal(), np.full(graph.num_nodes, k_ego), atol=1e-12
+        )
+        off = ego - sp.diags(ego.diagonal())
+        assert (off != graph.adjacency).nnz == 0

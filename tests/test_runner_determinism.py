@@ -1,0 +1,34 @@
+"""End-to-end determinism of the experiment harness.
+
+Reproducibility is the whole point of this repository: the same
+configuration must yield bit-identical tables, across fresh runner
+instances.
+"""
+
+from repro.experiments import ExperimentRunner, ExperimentScale
+
+TINY = ExperimentScale(scale=0.04, seeds=2, rate=0.1)
+
+
+def build_table():
+    runner = ExperimentRunner(TINY)
+    return runner.accuracy_table(
+        "cora", attackers=["PEEGA", "Metattack"], defenders=["GCN", "GNAT"]
+    )
+
+
+class TestDeterminism:
+    def test_identical_tables_across_runners(self):
+        first = build_table()
+        second = build_table()
+        assert first.rows.keys() == second.rows.keys()
+        for attacker in first.rows:
+            for defender in first.rows[attacker]:
+                a = first.rows[attacker][defender]
+                b = second.rows[attacker][defender]
+                assert a.values == b.values, (attacker, defender)
+
+    def test_different_dataset_seed_changes_graph(self):
+        a = ExperimentRunner(TINY, dataset_seed=0).graph("cora")
+        b = ExperimentRunner(TINY, dataset_seed=1).graph("cora")
+        assert (a.adjacency != b.adjacency).nnz > 0

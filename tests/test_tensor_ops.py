@@ -1,0 +1,156 @@
+"""Gradient checks for every differentiable primitive, against central
+finite differences (hypothesis drives random shapes/values)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, check_gradients
+from repro.tensor import functional as F
+
+
+def matrices(rows=(2, 4), cols=(2, 4), low=-2.0, high=2.0):
+    return st.tuples(
+        st.integers(*rows), st.integers(*cols), st.integers(0, 2**31 - 1)
+    ).map(
+        lambda args: np.random.default_rng(args[2]).uniform(low, high, (args[0], args[1]))
+    )
+
+
+class TestElementwiseGradients:
+    @given(matrices())
+    @settings(max_examples=15, deadline=None)
+    def test_add_mul_chain(self, x):
+        check_gradients(lambda a: ((a + 2.0) * a - a / 3.0).sum(), [x])
+
+    @given(matrices())
+    @settings(max_examples=15, deadline=None)
+    def test_binary_two_inputs(self, x):
+        y = x.T.copy() if x.shape[0] == x.shape[1] else x.copy() * 0.5 + 0.1
+        check_gradients(lambda a, b: (a * b + a - b).sum(), [x, y])
+
+    @given(matrices(low=0.1, high=3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_log_exp_sqrt_pow(self, x):
+        check_gradients(lambda a: (a.log() + a.exp() + a.sqrt() + a**1.7).sum(), [x])
+
+    @given(matrices())
+    @settings(max_examples=15, deadline=None)
+    def test_division_by_tensor(self, x):
+        denom = np.abs(x) + 1.0
+        check_gradients(lambda a, b: (a / b).sum(), [x, denom])
+
+    def test_abs_gradient_away_from_zero(self):
+        x = np.array([[-2.0, 3.0], [1.5, -0.5]])
+        check_gradients(lambda a: a.abs().sum(), [x])
+
+    def test_maximum_gradient(self):
+        x = np.array([[1.0, -2.0]])
+        y = np.array([[0.5, 0.5]])
+        check_gradients(lambda a, b: a.maximum(b).sum(), [x, y])
+
+    def test_clip_gradient(self):
+        x = np.array([[0.2, 1.7, -3.0]])
+        check_gradients(lambda a: a.clip(0.0, 1.0).sum(), [x])
+
+    def test_neg_and_rsub_rdiv(self):
+        x = np.array([[1.5, 2.5]])
+        check_gradients(lambda a: (-a + (3.0 - a) + 6.0 / a).sum(), [x])
+
+
+class TestShapeOps:
+    @given(matrices())
+    @settings(max_examples=10, deadline=None)
+    def test_transpose_reshape(self, x):
+        check_gradients(lambda a: (a.T.reshape(-1) * 2.0).sum(), [x])
+
+    def test_matmul_gradients(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.ones(3)).matmul(Tensor(np.ones(3)))
+
+    def test_sum_axis_keepdims(self):
+        x = np.arange(6.0).reshape(2, 3)
+        check_gradients(lambda a: (a.sum(axis=0) * np.array([1.0, 2.0, 3.0])).sum(), [x])
+        check_gradients(lambda a: (a.sum(axis=1, keepdims=True) * 2.0).sum(), [x])
+
+    def test_mean_gradient(self):
+        x = np.arange(6.0).reshape(2, 3)
+        check_gradients(lambda a: a.mean() * 6.0, [x])
+        check_gradients(lambda a: (a.mean(axis=1) * np.array([1.0, 3.0])).sum(), [x])
+
+
+class TestActivationGradients:
+    def test_relu(self):
+        x = np.array([[1.0, -1.0, 0.5]])
+        check_gradients(lambda a: F.relu(a).sum(), [x])
+
+    def test_leaky_relu(self):
+        x = np.array([[1.0, -2.0, 0.3]])
+        check_gradients(lambda a: F.leaky_relu(a, 0.2).sum(), [x])
+
+    def test_elu(self):
+        x = np.array([[1.0, -2.0, 0.3]])
+        check_gradients(lambda a: F.elu(a).sum(), [x])
+
+    def test_sigmoid_tanh(self):
+        x = np.array([[0.5, -1.5, 2.0]])
+        check_gradients(lambda a: (F.sigmoid(a) + F.tanh(a)).sum(), [x])
+
+    @given(matrices(low=-3.0, high=3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_softmax(self, x):
+        weights = np.random.default_rng(1).normal(size=x.shape)
+        check_gradients(lambda a: (F.softmax(a, axis=1) * weights).sum(), [x])
+
+    @given(matrices(low=-3.0, high=3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_log_softmax(self, x):
+        weights = np.random.default_rng(2).normal(size=x.shape)
+        check_gradients(lambda a: (F.log_softmax(a, axis=1) * weights).sum(), [x])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 7)) * 10)
+        probs = F.softmax(x, axis=1).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_is_stable_for_large_logits(self):
+        x = Tensor(np.array([[1e4, 0.0], [0.0, -1e4]]))
+        out = F.log_softmax(x, axis=1).data
+        assert np.isfinite(out).all()
+
+
+class TestRowPnorm:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_matches_numpy(self, p):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        ours = F.row_pnorm(Tensor(x), p).data
+        expected = np.linalg.norm(x, ord=p, axis=1)
+        np.testing.assert_allclose(ours, expected, rtol=1e-6, atol=1e-6)
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_gradcheck(self, p):
+        x = np.random.default_rng(1).normal(size=(3, 4)) + 0.5
+        check_gradients(lambda a: F.row_pnorm(a, p).sum(), [x], atol=1e-4)
+
+    def test_p1_gradcheck(self):
+        x = np.array([[1.0, -2.0, 3.0], [0.5, 0.7, -0.9]])
+        check_gradients(lambda a: F.row_pnorm(a, 1).sum(), [x])
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            F.row_pnorm(Tensor(np.ones((2, 2))), 0.5)
+
+    def test_zero_row_is_finite(self):
+        x = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = F.row_pnorm(x, 2).sum()
+        out.backward()
+        assert np.isfinite(out.item())
+        assert np.isfinite(x.grad).all()

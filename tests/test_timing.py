@@ -1,0 +1,43 @@
+"""Timing harness (Tables VII/VIII machinery)."""
+
+from repro.experiments import (
+    CellResult,
+    ExperimentScale,
+    attacker_timings,
+    defender_timings,
+    format_timing_table,
+)
+
+TINY = ExperimentScale(scale=0.04, seeds=1, rate=0.05)
+
+
+class TestAttackerTimings:
+    def test_structure_and_positivity(self):
+        timings = attacker_timings(
+            ["cora"], attackers=["PEEGA"], config=TINY, repeats=1
+        )
+        assert set(timings) == {"PEEGA"}
+        cell = timings["PEEGA"]["cora"]
+        assert isinstance(cell, CellResult)
+        assert cell.mean > 0
+        assert len(cell.values) == 1
+
+
+class TestDefenderTimings:
+    def test_structure_and_positivity(self):
+        timings = defender_timings(
+            ["cora"], defenders=["GCN", "GNAT"], config=TINY, repeats=1
+        )
+        assert set(timings) == {"GCN", "GNAT"}
+        assert timings["GNAT"]["cora"].mean > 0
+
+    def test_polblogs_defaults_skip_jaccard(self):
+        timings = defender_timings(
+            ["polblogs"], defenders=None, config=TINY, repeats=1
+        )
+        assert "GCN-Jaccard" not in timings
+
+    def test_render(self):
+        timings = defender_timings(["cora"], defenders=["GCN"], config=TINY, repeats=1)
+        text = format_timing_table(timings, title="t")
+        assert "GCN" in text and "cora" in text

@@ -1,0 +1,140 @@
+"""Additional victim architectures: GraphSAGE, APPNP; DropEdge defense;
+attack-profile analysis."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import attack_profile
+from repro.core import PEEGA
+from repro.defenses import DropEdgeGCN, sample_edge_subgraph
+from repro.errors import ConfigError
+from repro.graph import gcn_normalize
+from repro.nn import APPNP, GraphSAGE, TrainConfig, mean_aggregator, train_node_classifier
+from repro.tensor import Tensor
+
+
+class TestMeanAggregator:
+    def test_rows_stochastic(self, small_cora):
+        op = mean_aggregator(small_cora.adjacency)
+        sums = np.asarray(op.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, np.ones_like(sums), atol=1e-12)
+
+    def test_isolated_node_zero_row(self):
+        adj = sp.csr_matrix((3, 3))
+        op = mean_aggregator(adj)
+        assert op.nnz == 0
+
+    def test_averages_neighbors(self, tiny_graph):
+        op = mean_aggregator(tiny_graph.adjacency)
+        averaged = op @ tiny_graph.features
+        # Node 0's neighbors are 1, 2 with identical features.
+        np.testing.assert_allclose(averaged[0], tiny_graph.features[1])
+
+
+class TestGraphSAGE:
+    def test_shapes_and_training(self, small_cora):
+        model = GraphSAGE(small_cora.num_features, small_cora.num_classes, seed=0)
+        logits = model.forward(small_cora.adjacency, Tensor(small_cora.features))
+        assert logits.shape == (small_cora.num_nodes, small_cora.num_classes)
+        result = train_node_classifier(
+            model, small_cora, TrainConfig(epochs=40), adjacency=small_cora.adjacency
+        )
+        assert result.test_accuracy > 1.5 / small_cora.num_classes
+
+    def test_predict_mode_restoration(self, small_cora):
+        model = GraphSAGE(small_cora.num_features, small_cora.num_classes, seed=0).train()
+        model.predict(small_cora.adjacency, Tensor(small_cora.features))
+        assert model.training
+
+
+class TestAPPNP:
+    def test_shapes_and_training(self, small_cora):
+        model = APPNP(small_cora.num_features, small_cora.num_classes, k_steps=5, seed=0)
+        normalized = gcn_normalize(small_cora.adjacency)
+        logits = model.forward(normalized, Tensor(small_cora.features))
+        assert logits.shape == (small_cora.num_nodes, small_cora.num_classes)
+        result = train_node_classifier(model, small_cora, TrainConfig(epochs=40))
+        assert result.test_accuracy > 1.5 / small_cora.num_classes
+
+    def test_alpha_one_limit_is_local(self, small_cora):
+        # alpha→1 means (almost) no propagation: output ≈ the local MLP.
+        model = APPNP(
+            small_cora.num_features, small_cora.num_classes,
+            k_steps=3, alpha=0.999, dropout=0.0, seed=0,
+        )
+        model.eval()
+        normalized = gcn_normalize(small_cora.adjacency)
+        with_prop = model.forward(normalized, Tensor(small_cora.features)).data
+        identity = sp.eye(small_cora.num_nodes, format="csr")
+        local = model.forward(identity, Tensor(small_cora.features)).data
+        np.testing.assert_allclose(with_prop, local, atol=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            APPNP(4, 2, k_steps=0)
+        with pytest.raises(ValueError):
+            APPNP(4, 2, alpha=0.0)
+
+
+class TestDropEdge:
+    def test_subgraph_sampling(self, small_cora):
+        rng = np.random.default_rng(0)
+        sampled = sample_edge_subgraph(small_cora.adjacency, 0.5, rng)
+        assert sampled.nnz <= small_cora.adjacency.nnz
+        assert ((sampled - sampled.T) != 0).nnz == 0
+        # Kept edges are a subset of the original edges.
+        extra = sampled - small_cora.adjacency.multiply(sampled)
+        assert extra.nnz == 0
+
+    def test_keep_prob_one_keeps_everything(self, small_cora):
+        rng = np.random.default_rng(0)
+        sampled = sample_edge_subgraph(small_cora.adjacency, 1.0, rng)
+        assert (sampled != small_cora.adjacency).nnz == 0
+
+    def test_keep_prob_validation(self, small_cora):
+        with pytest.raises(ConfigError):
+            sample_edge_subgraph(small_cora.adjacency, 0.0, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            DropEdgeGCN(keep_prob=1.5)
+
+    def test_fit(self, small_cora):
+        result = DropEdgeGCN(
+            train_config=TrainConfig(epochs=40, patience=40), seed=0
+        ).fit(small_cora)
+        assert result.test_accuracy > 1.5 / small_cora.num_classes
+        assert result.details["keep_prob"] == 0.7
+
+
+class TestAttackProfile:
+    def test_peega_profile(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.1)
+        profile = attack_profile(result)
+        n_endpoints = 2 * len(result.edge_flips)
+        assert len(profile.endpoint_degrees) == n_endpoints
+        # PEEGA adds dissimilar pairs: positive similarity gap.
+        if len(profile.added_pair_similarity):
+            assert profile.similarity_gap > 0.0
+        assert "similarity gap" in profile.summary()
+
+    def test_empty_attack_profile(self, small_cora):
+        result = PEEGA(seed=0).attack(small_cora, perturbation_rate=0.0)
+        profile = attack_profile(result)
+        assert profile.mean_endpoint_degree == 0.0
+        assert profile.median_added_distance == 0.0
+        assert profile.similarity_gap == 0.0
+
+    def test_added_distances_exclude_deletions(self, small_cora):
+        result = PEEGA(attack_features=False, seed=0).attack(
+            small_cora, perturbation_rate=0.1
+        )
+        profile = attack_profile(result)
+        added = [
+            f for f in result.edge_flips if not small_cora.has_edge(f.u, f.v)
+        ]
+        assert len(profile.added_pair_distances) == len(added)
+        # Newly added pairs were at distance >= 2 before the attack.
+        finite = profile.added_pair_distances[
+            np.isfinite(profile.added_pair_distances)
+        ]
+        assert (finite >= 2).all()
