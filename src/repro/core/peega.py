@@ -26,9 +26,10 @@ from ..attacks.base import AttackBudget, Attacker, AttackResult
 from ..attacks.constraints import AttackerNodes
 from ..errors import ConfigError
 from ..graph import EdgeFlip, FeatureFlip, Graph, apply_perturbations
+from ..surrogate import PropagationCache
 from ..tensor import Tensor
 from ..utils.rng import SeedLike
-from .difference import DifferenceObjective
+from .difference import DifferenceObjective, IncrementalScorer
 
 __all__ = ["PEEGA"]
 
@@ -59,6 +60,15 @@ class PEEGA(Attacker):
         Number of flips applied per gradient evaluation.  1 reproduces
         Alg. 1 exactly; larger values trade a little fidelity for a
         proportional speedup (a documented extension, see DESIGN.md §5).
+    use_cache:
+        Select the incremental sparse scoring engine (default).  A
+        :class:`~repro.surrogate.PropagationCache` keeps ``A_n`` sparse,
+        applies each flip as a delta update, and the attack gradients are
+        assembled in closed form (see
+        :func:`repro.core.difference.sparse_attack_gradients`) instead of
+        re-differentiating a dense ``(n, n)`` autodiff graph per flip.  The
+        two paths pick the same flips up to floating-point ties;
+        ``use_cache=False`` keeps the dense reference path as the oracle.
     seed:
         Random tie-breaking seed.
     """
@@ -78,6 +88,7 @@ class PEEGA(Attacker):
         attacker_nodes: Optional[AttackerNodes] = None,
         focus_training_nodes: bool = True,
         flips_per_step: int = 1,
+        use_cache: bool = True,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
@@ -93,6 +104,7 @@ class PEEGA(Attacker):
         self.attacker_nodes = attacker_nodes
         self.focus_training_nodes = bool(focus_training_nodes)
         self.flips_per_step = int(flips_per_step)
+        self.use_cache = bool(use_cache)
 
     # ------------------------------------------------------------------
     def _run(self, graph: Graph, budget: AttackBudget) -> AttackResult:
@@ -101,8 +113,18 @@ class PEEGA(Attacker):
             if self.focus_training_nodes and graph.train_mask is not None
             else None
         )
+        cache = PropagationCache(graph) if self.use_cache else None
         objective = DifferenceObjective(
-            graph, layers=self.layers, p=self.p, lam=self.lam, node_mask=node_mask
+            graph,
+            layers=self.layers,
+            p=self.p,
+            lam=self.lam,
+            node_mask=node_mask,
+            cache=cache,
+            # The dense oracle scores topology flips through the dense
+            # normalization chain; matching M to that chain keeps the p-norm
+            # kink at an exact zero (as the cached path has by construction).
+            dense_reference=cache is None and self.attack_topology,
         )
         n, d = graph.num_nodes, graph.num_features
 
@@ -119,6 +141,35 @@ class PEEGA(Attacker):
         # Only the upper triangle represents distinct undirected edges.
         edge_allowed = edge_allowed & np.triu(np.ones((n, n), dtype=bool), k=1)
 
+        # Candidate frontier for the sparse engine: every allowed edge has an
+        # accessible endpoint, and attack scores are symmetric, so only the
+        # accessible *rows* of the topology gradient are ever inspected —
+        # the incremental path materializes just those (Fig 7a settings).
+        frontier: Optional[np.ndarray] = None
+        if (
+            cache is not None
+            and self.attack_topology
+            and self.attacker_nodes is not None
+        ):
+            accessible = np.flatnonzero(self.attacker_nodes.node_mask(n))
+            if len(accessible) < n:
+                frontier = accessible
+
+        scorer = IncrementalScorer(objective, cache) if cache is not None else None
+
+        # Candidate directions (Def. 4) are ±1-valued; the incremental path
+        # keeps them as persistent arrays and negates the flipped entry in
+        # place — exact, and avoids an O(n²)/O(nd) rebuild per iteration.
+        direction_t = direction_f = None
+        if scorer is not None:
+            if self.attack_topology:
+                direction_t = -2.0 * adj_hat + 1.0
+            if self.attack_features:
+                direction_f = -2.0 * feat_hat + 1.0
+        # Per-row feature bit counts, maintained exactly (integral +-1 steps)
+        # so the singleton-protection mask never re-reduces the full matrix.
+        feat_row_sums = feat_hat.sum(axis=1) if self.attack_features else None
+
         result = AttackResult(original=graph, poisoned=graph, budget=budget)
         spent = 0.0
         min_cost = min(
@@ -126,16 +177,36 @@ class PEEGA(Attacker):
         )
 
         while spent + min_cost <= budget.total + 1e-12:
-            score_t, score_f, loss_value = self._scores(objective, adj_hat, feat_hat)
+            if scorer is not None:
+                score_t, score_f, loss_value = self._scores_cached(
+                    scorer, feat_hat, direction_t, direction_f, frontier
+                )
+            else:
+                score_t, score_f, loss_value = self._scores(
+                    objective, adj_hat, feat_hat
+                )
             result.objective_trace.append(loss_value)
 
             # Singleton protection (the Nettack convention): never delete a
             # node's *last* feature bit — on identity-feature graphs
             # (Polblogs) an unconstrained greedy would otherwise simply zero
-            # the entire feature matrix within budget.
-            last_bit = (feat_hat.sum(axis=1, keepdims=True) <= 1.0) & (feat_hat == 1.0)
+            # the entire feature matrix within budget.  Only rows whose bit
+            # count has dropped to <= 1 can host a protected bit, so the
+            # dense (n, d) mask is patched just on those rows.
+            if self.attack_features:
+                feat_mask = feat_allowed.copy()
+                risky = np.flatnonzero(feat_row_sums <= 1.0)
+                if len(risky):
+                    feat_mask[risky] &= feat_hat[risky] != 1.0
+            else:
+                feat_mask = feat_allowed
             candidates = self._rank_candidates(
-                score_t, score_f, edge_allowed, feat_allowed & ~last_bit, budget
+                score_t,
+                score_f,
+                edge_allowed,
+                feat_mask,
+                budget,
+                row_index=frontier,
             )
             if not candidates:
                 break
@@ -148,12 +219,22 @@ class PEEGA(Attacker):
                     new_value = 0.0 if adj_hat[u, v] else 1.0
                     adj_hat[u, v] = new_value
                     adj_hat[v, u] = new_value
+                    if direction_t is not None:
+                        direction_t[u, v] = -direction_t[u, v]
+                        direction_t[v, u] = -direction_t[v, u]
                     edge_allowed[u, v] = False
-                    result.edge_flips.append(EdgeFlip(int(u), int(v)))
+                    flip = EdgeFlip(int(u), int(v))
+                    result.edge_flips.append(flip)
                 else:
                     feat_hat[u, v] = 1.0 - feat_hat[u, v]
+                    feat_row_sums[u] += 1.0 if feat_hat[u, v] else -1.0
+                    if direction_f is not None:
+                        direction_f[u, v] = -direction_f[u, v]
                     feat_allowed[u, v] = False
-                    result.feature_flips.append(FeatureFlip(int(u), int(v)))
+                    flip = FeatureFlip(int(u), int(v))
+                    result.feature_flips.append(flip)
+                if cache is not None:
+                    cache.apply(flip)
                 spent += cost
                 applied_any = True
             if not applied_any:
@@ -193,6 +274,40 @@ class PEEGA(Attacker):
             score_f = feat_t.grad * direction_f
         return score_t, score_f, float(loss.item())
 
+    def _scores_cached(
+        self,
+        scorer: IncrementalScorer,
+        feat_hat: np.ndarray,
+        direction_t: Optional[np.ndarray],
+        direction_f: Optional[np.ndarray],
+        frontier: Optional[np.ndarray],
+    ) -> tuple[Optional[np.ndarray], Optional[np.ndarray], float]:
+        """Incremental-path scores: closed-form gradients off the sparse cache.
+
+        The scorer drains the cache's dirty-row log and re-materializes only
+        the propagation/loss rows the applied flips touched.  When
+        ``frontier`` is given, ``score_t`` holds only those gradient rows
+        (shape ``(|frontier|, n)``); otherwise it is the full matrix.
+        """
+        grads = scorer.gradients(
+            feat_hat,
+            rows=frontier,
+            need_topology=self.attack_topology,
+            need_features=self.attack_features,
+        )
+        score_t = None
+        if self.attack_topology and grads.grad_topology is not None:
+            direction = direction_t if frontier is None else direction_t[frontier]
+            # grad_topology is the scorer's per-call scratch; scoring in
+            # place avoids another (n, n) allocation per flip.
+            score_t = np.multiply(
+                grads.grad_topology, direction, out=grads.grad_topology
+            )
+        score_f = None
+        if self.attack_features and grads.grad_features is not None:
+            score_f = grads.grad_features * direction_f
+        return score_t, score_f, grads.loss
+
     def _rank_candidates(
         self,
         score_t: Optional[np.ndarray],
@@ -200,32 +315,67 @@ class PEEGA(Attacker):
         edge_allowed: np.ndarray,
         feat_allowed: np.ndarray,
         budget: AttackBudget,
+        row_index: Optional[np.ndarray] = None,
     ) -> list[tuple[str, int, int, float]]:
         """Top candidates across both attack types, best first.
 
         Feature scores are normalized by their cost (``S_f / β``, Sec. V-D1)
-        so the comparison in Alg. 1 line 9 is cost-aware.
+        so the comparison in Alg. 1 line 9 is cost-aware.  With ``row_index``
+        the topology scores are row-sliced (the frontier of the incremental
+        path); scores are symmetric, so each undirected candidate is
+        recovered from whichever accessible endpoint hosts its row.
         """
         k = self.flips_per_step
         entries: list[tuple[float, str, int, int, float]] = []
 
-        if score_t is not None:
+        if score_t is not None and row_index is not None:
+            # Row-sliced frontier: candidate (u, v) appears at (row u, col v)
+            # and, when both endpoints are accessible, at (row v, col u) with
+            # an identical score — deduplicate on the canonical pair.
+            allowed = edge_allowed[row_index] | edge_allowed.T[row_index]
+            masked = np.where(allowed, score_t, -np.inf)
+            take = min(2 * k + 2, masked.size - 1)
+            flat = np.argpartition(-masked.ravel(), take)[: take + 1]
+            flat = flat[np.argsort(-masked.ravel()[flat], kind="stable")]
+            seen: set[tuple[int, int]] = set()
+            for idx in flat:
+                local, col = divmod(int(idx), masked.shape[1])
+                if not np.isfinite(masked[local, col]):
+                    continue
+                u, v = int(row_index[local]), int(col)
+                pair = (min(u, v), max(u, v))
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                entries.append((float(masked[local, col]), "edge", *pair, 1.0))
+                if len(seen) > k:
+                    break
+        elif score_t is not None:
+            # Negate in place and select the *smallest* entries: equivalent to
+            # argpartition(-masked) without materializing a second (n, n)
+            # temporary per iteration.
             masked = np.where(edge_allowed, score_t, -np.inf)
-            flat = np.argpartition(-masked.ravel(), min(k, masked.size - 1))[: k + 1]
+            np.negative(masked, out=masked)
+            flat = np.argpartition(masked.ravel(), min(k, masked.size - 1))[: k + 1]
             for idx in flat:
                 u, v = divmod(int(idx), masked.shape[1])
                 if np.isfinite(masked[u, v]):
-                    entries.append((float(masked[u, v]), "edge", u, v, 1.0))
+                    entries.append((float(-masked[u, v]), "edge", u, v, 1.0))
 
         if score_f is not None:
-            masked = np.where(feat_allowed, score_f, -np.inf) / budget.feature_cost
-            flat = np.argpartition(-masked.ravel(), min(k, masked.size - 1))[: k + 1]
+            masked = np.where(feat_allowed, score_f, -np.inf)
+            np.negative(masked, out=masked)
+            flat = np.argpartition(masked.ravel(), min(k, masked.size - 1))[: k + 1]
+            # The cost-aware score S_f / beta (Sec. V-D1) is applied to the
+            # selected handful only — division by a positive constant never
+            # reorders the per-type top-k selection.
             for idx in flat:
                 u, dim = divmod(int(idx), masked.shape[1])
                 if np.isfinite(masked[u, dim]):
-                    entries.append(
-                        (float(masked[u, dim]), "feature", u, dim, budget.feature_cost)
-                    )
+                    score = float(-masked[u, dim])
+                    if budget.feature_cost != 1.0:
+                        score /= budget.feature_cost
+                    entries.append((score, "feature", u, dim, budget.feature_cost))
 
         entries.sort(key=lambda e: e[0], reverse=True)
         return [(kind, u, v, cost) for _, kind, u, v, cost in entries]

@@ -34,3 +34,7 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset name or specification was invalid."""
+
+
+class CacheError(ReproError, RuntimeError):
+    """A memoized computation was asked to serve stale or foreign state."""

@@ -1,11 +1,18 @@
 """Graph substrate: container, normalization, perturbation, properties."""
 
 from .graph import Graph
-from .normalize import add_self_loops, gcn_normalize, gcn_normalize_dense
+from .normalize import (
+    NORMALIZE_EPS,
+    add_self_loops,
+    gcn_normalize,
+    gcn_normalize_dense,
+    inv_sqrt_degrees,
+)
 from .perturb import (
     EdgeFlip,
     FeatureFlip,
     Perturbation,
+    PerturbationLog,
     apply_perturbations,
     feature_distance,
     flip_edges,
@@ -24,9 +31,12 @@ __all__ = [
     "gcn_normalize",
     "gcn_normalize_dense",
     "add_self_loops",
+    "inv_sqrt_degrees",
+    "NORMALIZE_EPS",
     "EdgeFlip",
     "FeatureFlip",
     "Perturbation",
+    "PerturbationLog",
     "apply_perturbations",
     "flip_edges",
     "flip_features",

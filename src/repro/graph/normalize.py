@@ -19,7 +19,28 @@ import scipy.sparse as sp
 
 from ..tensor import Tensor, as_tensor
 
-__all__ = ["gcn_normalize", "gcn_normalize_dense", "add_self_loops"]
+__all__ = [
+    "gcn_normalize",
+    "gcn_normalize_dense",
+    "add_self_loops",
+    "inv_sqrt_degrees",
+    "NORMALIZE_EPS",
+]
+
+# Guard added to the (self-loop-augmented) degrees before the inverse square
+# root.  Shared by the dense differentiable path and the incremental
+# :class:`repro.surrogate.PropagationCache` so both produce bit-identical
+# scaling vectors — the cached attack path must reproduce the dense reference
+# gradients exactly.
+NORMALIZE_EPS = 1e-12
+
+
+def inv_sqrt_degrees(degrees: np.ndarray) -> np.ndarray:
+    """``(degrees + eps)^{-1/2}`` — the scaling vector of ``D^{-1/2}(A+I)D^{-1/2}``.
+
+    ``degrees`` must already include the self-loop contribution.
+    """
+    return (np.asarray(degrees, dtype=np.float64) + NORMALIZE_EPS) ** -0.5
 
 
 def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
@@ -57,7 +78,7 @@ def gcn_normalize_dense(adjacency: Union[Tensor, np.ndarray], add_loops: bool = 
     if add_loops:
         adj = adj + Tensor(np.eye(n))
     degrees = adj.sum(axis=1)
-    inv_sqrt = (degrees + 1e-12) ** -0.5
+    inv_sqrt = (degrees + NORMALIZE_EPS) ** -0.5
     # Row scaling then column scaling via broadcasting.
     row = inv_sqrt.reshape(n, 1)
     col = inv_sqrt.reshape(1, n)

@@ -22,6 +22,7 @@ __all__ = [
     "EdgeFlip",
     "FeatureFlip",
     "Perturbation",
+    "PerturbationLog",
     "apply_perturbations",
     "flip_edges",
     "flip_features",
@@ -63,7 +64,13 @@ Perturbation = EdgeFlip | FeatureFlip
 
 @dataclass
 class PerturbationLog:
-    """Ordered record of applied perturbations with total cost."""
+    """Ordered record of applied perturbations with total cost.
+
+    The log doubles as a memoization key: :attr:`key` is a hashable tuple
+    identifying the exact perturbed state reached from a clean graph, which
+    :class:`repro.surrogate.PropagationCache` uses to tag the normalized
+    adjacency and its cached powers.
+    """
 
     items: list[Perturbation] = field(default_factory=list)
 
@@ -74,6 +81,24 @@ class PerturbationLog:
     @property
     def feature_flips(self) -> list[FeatureFlip]:
         return [p for p in self.items if isinstance(p, FeatureFlip)]
+
+    @property
+    def key(self) -> tuple[tuple[str, int, int], ...]:
+        """Hashable identity of the perturbation sequence."""
+        return tuple(
+            ("edge", p.u, p.v) if isinstance(p, EdgeFlip) else ("feature", p.node, p.dim)
+            for p in self.items
+        )
+
+    def total_cost(self, feature_cost: float = 1.0) -> float:
+        """Budget units consumed by the logged perturbations."""
+        return sum(
+            feature_cost if isinstance(p, FeatureFlip) else p.cost for p in self.items
+        )
+
+    def record(self, perturbation: Perturbation) -> None:
+        """Append one applied perturbation."""
+        self.items.append(perturbation)
 
     def __len__(self) -> int:
         return len(self.items)

@@ -1,5 +1,6 @@
 """Linearized GNN surrogate used by black-box attackers."""
 
+from .cache import PropagationCache
 from .propagation import linear_propagation, propagation_matrix
 
-__all__ = ["linear_propagation", "propagation_matrix"]
+__all__ = ["linear_propagation", "propagation_matrix", "PropagationCache"]

@@ -1,0 +1,289 @@
+"""Incremental propagation cache for greedy structure attacks.
+
+PEEGA's greedy loop (Alg. 1) evaluates the surrogate ``M = A_n^l X`` once per
+flip.  The reference dense path rebuilds ``A_n = D^{-1/2}(A+I)D^{-1/2}`` from
+scratch inside the autodiff graph for every evaluation — an O(n²) rebuild plus
+an O(n²)-tensor tape, per flip.  :class:`PropagationCache` removes that cost:
+
+* the normalized adjacency is built **once** (one normalization per attack
+  run) and kept as a sparse CSR matrix;
+* each edge flip is applied as a *rank-1-shaped delta*: only the two degree
+  entries, the two scaling coefficients ``s_u, s_v``, and the incident
+  rows/columns of ``A_n`` are recomputed — O(deg(u) + deg(v)) value updates;
+* matrix powers ``A_n^k`` are memoized and derived from the stored ``A_n``
+  (``A_n²`` is one sparse product away, never a renormalization), keyed on the
+  perturbation log so a flip invalidates exactly the derived state;
+* the cache fingerprints the adjacency of the graph it is bound to and
+  raises :class:`~repro.errors.CacheError` instead of serving stale
+  ``A_n^l X`` if the graph is mutated out of band.
+
+Numerical contract: the scaling vector uses the *same* guarded formula as the
+dense differentiable path (:func:`repro.graph.inv_sqrt_degrees`), so cached
+values match the dense reference bit-for-bit at the clean state, and a flip
+followed by its inverse restores every cached array bit-exactly (scaling
+coefficients are recomputed from integral degrees, never rescaled in place).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import CacheError, ConfigError
+from ..graph import EdgeFlip, FeatureFlip, Graph, PerturbationLog, inv_sqrt_degrees
+
+__all__ = ["PropagationCache"]
+
+
+def _adjacency_fingerprint(adjacency: sp.csr_matrix) -> tuple:
+    """Cheap content hash of a CSR matrix (structure and values)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(adjacency.indptr.tobytes())
+    digest.update(adjacency.indices.tobytes())
+    digest.update(adjacency.data.tobytes())
+    return (adjacency.shape, adjacency.nnz, digest.digest())
+
+
+class PropagationCache:
+    """Memoized ``A_n`` (and powers) under an evolving perturbation log.
+
+    Parameters
+    ----------
+    graph:
+        The clean graph the cache is bound to.  The cache never mutates it;
+        flips are applied to the cache's own sparse state and recorded in
+        :attr:`log`.
+
+    Notes
+    -----
+    The cached matrix always carries the *current* perturbed topology, i.e.
+    the clean adjacency with every logged edge flip applied.  Feature flips
+    are recorded in the log (they are part of the perturbation identity) but
+    do not touch the propagation matrix — ``X̂`` is an argument of
+    :meth:`propagation_stack`, not cached state.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._fingerprint = _adjacency_fingerprint(graph.adjacency)
+        self.log = PerturbationLog()
+        self.normalization_count = 0
+        self._powers: dict[int, sp.csr_matrix] = {}
+        self._dirty_an_rows: set[int] = set()
+        self._dirty_feature_rows: set[int] = set()
+        self._normalize()
+
+    # ------------------------------------------------------------------
+    # Construction / invalidation
+    # ------------------------------------------------------------------
+    def _normalize(self) -> None:
+        """Build ``A_n`` from scratch — called exactly once, at bind time."""
+        n = self._graph.num_nodes
+        structure = (self._graph.adjacency + sp.eye(n, format="csr")).tocsr()
+        structure.sort_indices()
+        self._loop_degrees = np.asarray(structure.sum(axis=1)).ravel()
+        self._scaling = inv_sqrt_degrees(self._loop_degrees)
+        row_index = np.repeat(np.arange(n), np.diff(structure.indptr))
+        data = self._scaling[row_index] * self._scaling[structure.indices]
+        self._an = sp.csr_matrix(
+            (data, structure.indices.copy(), structure.indptr.copy()), shape=(n, n)
+        )
+        self.normalization_count += 1
+
+    def check_binding(self) -> None:
+        """Raise :class:`CacheError` if the bound graph changed out of band."""
+        if _adjacency_fingerprint(self._graph.adjacency) != self._fingerprint:
+            raise CacheError(
+                "the graph bound to this PropagationCache was mutated out of "
+                "band; rebuild the cache instead of serving stale A_n^l X"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The clean graph this cache is bound to."""
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        """Number of logged perturbations (0 = clean state)."""
+        return len(self.log)
+
+    @property
+    def key(self) -> tuple:
+        """Hashable identity of the cached perturbed state."""
+        return self.log.key
+
+    @property
+    def normalized(self) -> sp.csr_matrix:
+        """``A_n`` for the current perturbed topology (verified fresh)."""
+        self.check_binding()
+        return self._an
+
+    @property
+    def scaling(self) -> np.ndarray:
+        """The scaling vector ``s = (d + 1 + eps)^{-1/2}`` (view, do not mutate)."""
+        return self._scaling
+
+    @property
+    def loop_degrees(self) -> np.ndarray:
+        """Self-loop-augmented degrees ``rowsum(Â + I)`` (view, do not mutate)."""
+        return self._loop_degrees
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the *current perturbed* topology contains edge ``(u, v)``."""
+        indptr, indices = self._an.indptr, self._an.indices
+        row = indices[indptr[u] : indptr[u + 1]]
+        pos = np.searchsorted(row, v)
+        return bool(pos < len(row) and row[pos] == v)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def power(self, layers: int) -> sp.csr_matrix:
+        """``A_n^layers``, memoized; higher powers derive from stored ``A_n``."""
+        if layers < 1:
+            raise ConfigError(f"layers must be >= 1, got {layers}")
+        self.check_binding()
+        if 1 not in self._powers:
+            self._powers[1] = self._an
+        highest = max(self._powers)
+        while highest < layers:
+            nxt = (self._powers[highest] @ self._an).tocsr()
+            nxt.sort_indices()
+            highest += 1
+            self._powers[highest] = nxt
+        return self._powers[layers]
+
+    def propagation_stack(
+        self, features: np.ndarray, layers: int
+    ) -> list[np.ndarray]:
+        """All intermediate products ``[X̂, A_nX̂, …, A_n^lX̂]`` (length l+1)."""
+        if layers < 1:
+            raise ConfigError(f"layers must be >= 1, got {layers}")
+        self.check_binding()
+        out = [np.asarray(features, dtype=np.float64)]
+        for _ in range(layers):
+            out.append(self._an @ out[-1])
+        return out
+
+    def propagate(self, features: np.ndarray, layers: int) -> np.ndarray:
+        """The surrogate representations ``A_n^layers X̂``."""
+        return self.propagation_stack(features, layers)[-1]
+
+    # ------------------------------------------------------------------
+    # Delta updates
+    # ------------------------------------------------------------------
+    def apply(self, flip: Union[EdgeFlip, FeatureFlip]) -> None:
+        """Apply one perturbation to the cached state and log it.
+
+        Edge flips update ``A_n`` in place as a delta: degrees and scaling of
+        the two endpoints are recomputed from the (integral) degree counters,
+        the flipped entry is inserted/removed, and only the rows and columns
+        incident to the endpoints have their values refreshed.  Applying the
+        same flip twice restores the cached state bit-exactly.
+        """
+        self.check_binding()
+        if isinstance(flip, FeatureFlip):
+            self._dirty_feature_rows.add(int(flip.node))
+            self.log.record(flip)
+            return
+        u, v = int(flip.u), int(flip.v)
+        adding = not self.has_edge(u, v)
+        self._toggle_structure(u, v, adding)
+        delta = 1.0 if adding else -1.0
+        self._loop_degrees[u] += delta
+        self._loop_degrees[v] += delta
+        self._scaling[[u, v]] = inv_sqrt_degrees(self._loop_degrees[[u, v]])
+        self._refresh_incident_values(u, v)
+        # Exactly the rows whose A_n values just changed: the endpoints plus
+        # every neighbour row holding a mirrored (j, u) / (j, v) entry.
+        indptr, indices = self._an.indptr, self._an.indices
+        self._dirty_an_rows.add(u)
+        self._dirty_an_rows.add(v)
+        self._dirty_an_rows.update(
+            int(j) for j in indices[indptr[u] : indptr[u + 1]]
+        )
+        self._dirty_an_rows.update(
+            int(j) for j in indices[indptr[v] : indptr[v + 1]]
+        )
+        self._powers.clear()
+        self.log.record(flip)
+
+    def drain_dirty_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Rows of ``A_n`` / rows of ``X̂`` changed since the last drain.
+
+        Returns sorted index arrays ``(an_rows, feature_rows)`` and clears
+        the accumulators.  This powers incremental consumers (the
+        :class:`~repro.core.difference.IncrementalScorer`): only these rows
+        — and their propagation fan-out — need re-materializing.  There
+        must be a single draining consumer per cache.
+        """
+        an_rows = np.fromiter(
+            self._dirty_an_rows, dtype=np.int64, count=len(self._dirty_an_rows)
+        )
+        feature_rows = np.fromiter(
+            self._dirty_feature_rows,
+            dtype=np.int64,
+            count=len(self._dirty_feature_rows),
+        )
+        an_rows.sort()
+        feature_rows.sort()
+        self._dirty_an_rows.clear()
+        self._dirty_feature_rows.clear()
+        return an_rows, feature_rows
+
+    def _toggle_structure(self, u: int, v: int, adding: bool) -> None:
+        """Insert or remove the symmetric pair ``(u, v)``/``(v, u)`` in CSR form."""
+        an = self._an
+        indptr, indices, data = an.indptr, an.indices, an.data
+        row_u = indices[indptr[u] : indptr[u + 1]]
+        row_v = indices[indptr[v] : indptr[v + 1]]
+        pos_u = int(indptr[u] + np.searchsorted(row_u, v))
+        pos_v = int(indptr[v] + np.searchsorted(row_v, u))
+        bump = np.zeros(len(indptr), dtype=indptr.dtype)
+        if adding:
+            # Values are placeholders; _refresh_incident_values rewrites both
+            # rows immediately afterwards.
+            order = np.argsort([pos_u, pos_v], kind="stable")
+            positions = np.asarray([pos_u, pos_v])[order]
+            values = np.asarray([v, u])[order]
+            new_indices = np.insert(indices, positions, values)
+            new_data = np.insert(data, positions, 0.0)
+            bump[u + 1 :] += 1
+            bump[v + 1 :] += 1
+        else:
+            if indices[pos_u] != v or indices[pos_v] != u:
+                raise CacheError(
+                    f"cached structure lost the edge ({u}, {v}) it is removing"
+                )
+            new_indices = np.delete(indices, [pos_u, pos_v])
+            new_data = np.delete(data, [pos_u, pos_v])
+            bump[u + 1 :] -= 1
+            bump[v + 1 :] -= 1
+        self._an = sp.csr_matrix(
+            (new_data, new_indices, indptr + bump), shape=an.shape
+        )
+
+    def _refresh_incident_values(self, u: int, v: int) -> None:
+        """Recompute ``A_n`` values in the rows and columns of ``u`` and ``v``."""
+        an = self._an
+        indptr, indices, data = an.indptr, an.indices, an.data
+        s = self._scaling
+        for node in (u, v):
+            lo, hi = indptr[node], indptr[node + 1]
+            cols = indices[lo:hi]
+            data[lo:hi] = s[node] * s[cols]
+            # Mirror the column ``node`` in every other incident row; rows u
+            # and v themselves are (re)written wholesale above.
+            for j in cols:
+                if j == u or j == v:
+                    continue
+                lo_j = indptr[j]
+                pos = lo_j + np.searchsorted(indices[lo_j : indptr[j + 1]], node)
+                data[pos] = s[j] * s[node]

@@ -10,7 +10,7 @@ label-free.  This module computes it on either code path:
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -19,15 +19,32 @@ from ..errors import ConfigError
 from ..graph import gcn_normalize, gcn_normalize_dense
 from ..tensor import Tensor, as_tensor
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .cache import PropagationCache
+
 AdjacencyLike = Union[sp.spmatrix, Tensor, np.ndarray]
 
 __all__ = ["linear_propagation", "propagation_matrix"]
 
 
-def propagation_matrix(adjacency: AdjacencyLike, layers: int = 2) -> Union[sp.csr_matrix, Tensor]:
-    """Return ``A_n^layers`` on the appropriate code path."""
+def propagation_matrix(
+    adjacency: AdjacencyLike,
+    layers: int = 2,
+    cache: Optional["PropagationCache"] = None,
+) -> Union[sp.csr_matrix, Tensor]:
+    """Return ``A_n^layers`` on the appropriate code path.
+
+    Without a cache every call renormalizes the adjacency from scratch and
+    multiplies the powers back up.  Passing a
+    :class:`~repro.surrogate.PropagationCache` serves the memoized power
+    instead: the normalized matrix is built once per cache lifetime and
+    ``A_n^k`` derives from the stored ``A_n^{k-1}``, so repeated callers (a
+    greedy attack loop, a parameter sweep) pay for exactly one normalization.
+    """
     if layers < 1:
         raise ConfigError(f"layers must be >= 1, got {layers}")
+    if cache is not None:
+        return cache.power(layers)
     if sp.issparse(adjacency):
         normalized = gcn_normalize(adjacency)
         power = normalized

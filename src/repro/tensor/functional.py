@@ -28,6 +28,7 @@ __all__ = [
     "cross_entropy",
     "dropout",
     "sparse_matmul",
+    "sparse_matmul_grad_matrix",
     "row_pnorm",
     "masked_fill",
     "concat_rows",
@@ -191,6 +192,38 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
         matrix_t = matrix.T.tocsr()
         out._backward = lambda g: (matrix_t @ g,)
     return out
+
+
+def sparse_matmul_grad_matrix(
+    upstream: np.ndarray, x: np.ndarray, rows: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Backward kernel for the *matrix* operand of ``matrix @ x``.
+
+    For an (n, n) propagation matrix applied to dense (n, d) activations, the
+    gradient w.r.t. the matrix is the dense outer product
+    ``upstream @ x.T`` — the one unavoidably quadratic step of attack-score
+    computation.  :func:`sparse_matmul` keeps its matrix constant, so greedy
+    structure attackers (the incremental PEEGA engine) call this kernel
+    directly instead of routing an (n, n) tensor through the autodiff graph.
+
+    ``rows`` restricts the output to the given row subset — when attacker-node
+    constraints shrink the candidate frontier, only the touched rows of the
+    gradient are ever materialized (cost ``|rows|·n·d`` instead of ``n²·d``).
+
+    ``upstream`` may stack the per-layer adjoints column-wise (n, l·d) with
+    ``x`` stacking the matching forward activations, turning the layer sum
+    ``Σ_k U_k Z_{k-1}ᵀ`` into a single GEMM.
+    """
+    upstream = np.asarray(upstream, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if upstream.ndim != 2 or x.ndim != 2 or upstream.shape[1] != x.shape[1]:
+        raise ShapeError(
+            f"sparse_matmul_grad_matrix expects matching (n, d) operands, got "
+            f"{upstream.shape} and {x.shape}"
+        )
+    if rows is None:
+        return upstream @ x.T
+    return upstream[np.asarray(rows, dtype=np.int64)] @ x.T
 
 
 def row_pnorm(x: Tensor, p: Union[int, float], eps: float = 1e-12) -> Tensor:

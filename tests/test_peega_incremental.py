@@ -1,0 +1,182 @@
+"""Equivalence suite: incremental sparse PEEGA engine vs the dense oracle.
+
+The incremental engine (``use_cache=True``) must pick the *same flip
+sequence* and reach the *same final objective* (within 1e-8) as the dense
+reference path — across layers, norm orders, flips-per-step, budgets,
+attack types, and accessibility constraints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackBudget
+from repro.attacks.constraints import AttackerNodes
+from repro.core.difference import DifferenceObjective
+from repro.core.peega import PEEGA
+from repro.surrogate import PropagationCache
+from repro.surrogate.propagation import gcn_normalize, gcn_normalize_dense
+
+
+def _flip_sequence(result):
+    """Perturbations in selection order, as comparable tuples."""
+    edges = [("edge", f.u, f.v) for f in result.edge_flips]
+    feats = [("feature", f.node, f.dim) for f in result.feature_flips]
+    return edges + feats
+
+
+def _final_objective(graph, result, layers, p):
+    """Re-score the poisoned graph with a fresh (uncached) objective."""
+    objective = DifferenceObjective(graph, layers=layers, p=p)
+    return float(
+        objective(result.poisoned.adjacency, result.poisoned.features).item()
+    )
+
+
+def _run_pair(graph, budget, **attacker_kwargs):
+    dense = PEEGA(use_cache=False, seed=0, **attacker_kwargs).attack(graph, budget)
+    cached = PEEGA(use_cache=True, seed=0, **attacker_kwargs).attack(graph, budget)
+    return dense, cached
+
+
+@pytest.mark.parametrize("layers", [1, 2, 3])
+@pytest.mark.parametrize("p", [1, 2])
+@pytest.mark.parametrize("flips_per_step", [1, 4])
+def test_equivalence_grid_cora(small_cora, layers, p, flips_per_step):
+    budget = AttackBudget(total=20)
+    dense, cached = _run_pair(
+        small_cora, budget, layers=layers, p=p, flips_per_step=flips_per_step
+    )
+    assert _flip_sequence(dense) == _flip_sequence(cached)
+    obj_dense = _final_objective(small_cora, dense, layers, p)
+    obj_cached = _final_objective(small_cora, cached, layers, p)
+    assert obj_dense == pytest.approx(obj_cached, abs=1e-8)
+
+
+@pytest.mark.parametrize("layers", [1, 2, 3])
+@pytest.mark.parametrize("p", [1, 2])
+@pytest.mark.parametrize("flips_per_step", [1, 4])
+def test_equivalence_grid_polblogs(small_polblogs, layers, p, flips_per_step):
+    budget = AttackBudget(total=20)
+    dense, cached = _run_pair(
+        small_polblogs, budget, layers=layers, p=p, flips_per_step=flips_per_step
+    )
+    assert _flip_sequence(dense) == _flip_sequence(cached)
+    obj_dense = _final_objective(small_polblogs, dense, layers, p)
+    obj_cached = _final_objective(small_polblogs, cached, layers, p)
+    assert obj_dense == pytest.approx(obj_cached, abs=1e-8)
+
+
+@pytest.mark.parametrize("budget_total", [1, 5, 13, 20])
+def test_equivalence_across_budgets(small_cora, budget_total):
+    budget = AttackBudget(total=budget_total)
+    dense, cached = _run_pair(small_cora, budget)
+    assert _flip_sequence(dense) == _flip_sequence(cached)
+    assert dense.spent == cached.spent <= budget_total
+    # The per-step objective traces must agree too, not just the endpoint.
+    np.testing.assert_allclose(
+        dense.objective_trace, cached.objective_trace, atol=1e-8
+    )
+
+
+@pytest.mark.parametrize(
+    "attack_topology,attack_features",
+    [(True, False), (False, True)],
+    ids=["topology-only", "features-only"],
+)
+def test_equivalence_single_attack_type(small_cora, attack_topology, attack_features):
+    budget = AttackBudget(total=12)
+    dense, cached = _run_pair(
+        small_cora,
+        budget,
+        attack_topology=attack_topology,
+        attack_features=attack_features,
+    )
+    assert _flip_sequence(dense) == _flip_sequence(cached)
+    np.testing.assert_allclose(
+        dense.objective_trace, cached.objective_trace, atol=1e-8
+    )
+
+
+@pytest.mark.parametrize("mode", ["any", "both"])
+def test_equivalence_with_attacker_nodes(small_cora, mode):
+    """The frontier-sliced score path must agree with the dense oracle."""
+    accessible = np.arange(0, small_cora.num_nodes, 3)  # every third node
+    constraint = AttackerNodes(nodes=accessible, mode=mode)
+    budget = AttackBudget(total=10)
+    dense, cached = _run_pair(small_cora, budget, attacker_nodes=constraint)
+    assert _flip_sequence(dense) == _flip_sequence(cached)
+    np.testing.assert_allclose(
+        dense.objective_trace, cached.objective_trace, atol=1e-8
+    )
+    # Every flip respects the constraint.
+    mask = constraint.node_mask(small_cora.num_nodes)
+    for flip in cached.edge_flips:
+        touched = int(mask[flip.u]) + int(mask[flip.v])
+        assert touched == 2 if mode == "both" else touched >= 1
+
+
+def test_feature_cost_equivalence(small_cora):
+    """Cost-aware ranking (S_f / beta) matches across engines."""
+    budget = AttackBudget(total=10, feature_cost=2.5)
+    dense, cached = _run_pair(small_cora, budget)
+    assert _flip_sequence(dense) == _flip_sequence(cached)
+    assert dense.spent == cached.spent <= budget.total + 1e-9
+
+
+def test_cached_attack_normalizes_exactly_once(small_cora, monkeypatch):
+    """Regression: one normalization per attack run.
+
+    The pre-cache code rebuilt ``D^{-1/2}(A+I)D^{-1/2}`` on every call of
+    ``propagation_matrix``/``linear_propagation``.  A cached attack must
+    build ``A_n`` exactly once (at cache bind time) and never fall back to
+    the from-scratch normalizers.
+    """
+    calls = {"cache": 0, "sparse": 0, "dense": 0}
+
+    original_normalize = PropagationCache._normalize
+
+    def counting_normalize(self):
+        calls["cache"] += 1
+        original_normalize(self)
+
+    def counting_sparse(*args, **kwargs):
+        calls["sparse"] += 1
+        return gcn_normalize(*args, **kwargs)
+
+    def counting_dense(*args, **kwargs):
+        calls["dense"] += 1
+        return gcn_normalize_dense(*args, **kwargs)
+
+    monkeypatch.setattr(PropagationCache, "_normalize", counting_normalize)
+    monkeypatch.setattr(
+        "repro.surrogate.propagation.gcn_normalize", counting_sparse
+    )
+    monkeypatch.setattr(
+        "repro.surrogate.propagation.gcn_normalize_dense", counting_dense
+    )
+
+    attacker = PEEGA(use_cache=True, seed=0)
+    result = attacker.attack(small_cora, AttackBudget(total=15))
+    assert result.num_perturbations > 0
+    assert calls["cache"] == 1
+    assert calls["sparse"] == 0
+    assert calls["dense"] == 0
+
+
+def test_propagation_matrix_reuses_cached_powers(small_cora):
+    """``propagation_matrix(cache=...)`` serves memoized powers."""
+    from repro.surrogate import propagation_matrix
+
+    cache = PropagationCache(small_cora)
+    assert cache.normalization_count == 1
+    p2_first = propagation_matrix(small_cora.adjacency, layers=2, cache=cache)
+    p2_again = propagation_matrix(small_cora.adjacency, layers=2, cache=cache)
+    assert p2_first is p2_again  # same object: memoized, not recomputed
+    p3 = propagation_matrix(small_cora.adjacency, layers=3, cache=cache)
+    assert p3.shape == p2_first.shape
+    assert cache.normalization_count == 1  # still the single bind-time build
+    # Matches the uncached computation.
+    reference = propagation_matrix(small_cora.adjacency, layers=2)
+    np.testing.assert_allclose(p2_first.toarray(), reference.toarray(), atol=1e-12)
