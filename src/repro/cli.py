@@ -7,6 +7,7 @@ Drives the typical pipeline without writing Python::
     python -m repro analyze --attack poison.npz
     python -m repro defend GNAT --attack poison.npz --seeds 3
     python -m repro table cora --rate 0.1
+    python -m repro table cora --checkpoint-dir ckpt/ --resume
     python -m repro info --graph cora.npz
 
 Attackers/defenders are instantiated through the per-dataset presets in
@@ -83,6 +84,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render measured-vs-paper markdown with the shape-claim scorecard",
     )
+    p_table.add_argument(
+        "--checkpoint-dir",
+        help="journal completed cells and poison graphs here (written after "
+        "every cell, so an interrupted sweep loses at most one cell)",
+    )
+    p_table.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing --checkpoint-dir journal instead of "
+        "starting fresh",
+    )
+    p_table.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="retries per trial before it is recorded as a failure (default 2)",
+    )
+    p_table.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-trial wall-clock deadline in seconds (default: none)",
+    )
 
     p_analyze = sub.add_parser("analyze", help="attack-pattern analysis (Fig 1/2)")
     p_analyze.add_argument("--attack", required=True, help=".npz attack archive")
@@ -146,13 +170,28 @@ def _cmd_defend(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    from .experiments import SweepCheckpoint, TrialPolicy, TrialSupervisor
+    from .utils import faults
+
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
     config = ExperimentScale(scale=args.scale, seeds=args.seeds, rate=args.rate)
-    runner = ExperimentRunner(config)
-    table = runner.accuracy_table(
-        args.dataset,
-        attackers=args.attackers or None,
-        defenders=args.defenders or None,
+    supervisor = TrialSupervisor(
+        TrialPolicy(max_attempts=args.max_attempts, deadline_seconds=args.deadline)
     )
+    checkpoint = (
+        SweepCheckpoint(args.checkpoint_dir, resume=args.resume)
+        if args.checkpoint_dir
+        else None
+    )
+    runner = ExperimentRunner(config, supervisor=supervisor, checkpoint=checkpoint)
+    # REPRO_FAULTS lets operators chaos-test a real sweep end to end.
+    with faults.active(faults.FaultInjector.from_env()):
+        table = runner.accuracy_table(
+            args.dataset,
+            attackers=args.attackers or None,
+            defenders=args.defenders or None,
+        )
     if args.compare:
         from .experiments import render_comparison
 
@@ -165,6 +204,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
                 f"{args.seeds} seeds)",
             )
         )
+    if table.failures:
+        from .experiments import render_failure_appendix
+
+        print(render_failure_appendix(table.failures), file=sys.stderr)
+        return 3
     return 0
 
 

@@ -38,3 +38,84 @@ class DatasetError(ReproError, ValueError):
 
 class CacheError(ReproError, RuntimeError):
     """A memoized computation was asked to serve stale or foreign state."""
+
+
+class DivergenceError(ReproError, RuntimeError):
+    """Training produced a non-finite loss (NaN or ±inf).
+
+    Attributes
+    ----------
+    epoch:
+        Zero-based epoch at which the non-finite loss appeared.
+    loss:
+        The offending loss value.
+    recovered:
+        True when early stopping had a best-validation checkpoint and the
+        model's weights were restored to it before raising.
+    best_val_accuracy:
+        Validation accuracy of the restored checkpoint (-1.0 when none).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        epoch: int = -1,
+        loss: float = float("nan"),
+        recovered: bool = False,
+        best_val_accuracy: float = -1.0,
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.loss = loss
+        self.recovered = recovered
+        self.best_val_accuracy = best_val_accuracy
+
+
+class TrialError(ReproError, RuntimeError):
+    """A supervised experiment trial failed after exhausting its retries.
+
+    Attributes
+    ----------
+    key:
+        The :class:`~repro.experiments.supervisor.TrialKey` of the trial
+        (``None`` when raised outside the supervisor).
+    attempts:
+        Number of attempts made before giving up.
+    elapsed_seconds:
+        Total wall-clock time spent across all attempts.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: object = None,
+        attempts: int = 0,
+        elapsed_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.key = key
+        self.attempts = attempts
+        self.elapsed_seconds = elapsed_seconds
+
+
+class DeadlineError(TrialError):
+    """A trial attempt exceeded its wall-clock deadline and was abandoned.
+
+    Carries the deadline that was missed in ``deadline_seconds``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_seconds: float = 0.0,
+        key: object = None,
+        attempts: int = 0,
+        elapsed_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(
+            message, key=key, attempts=attempts, elapsed_seconds=elapsed_seconds
+        )
+        self.deadline_seconds = deadline_seconds

@@ -8,8 +8,16 @@ from .config import (
     make_attacker,
     make_defender,
 )
-from .report import evaluate_shape_claims, render_comparison
+from .report import evaluate_shape_claims, render_comparison, render_failure_appendix
 from .runner import AccuracyTable, CellResult, ExperimentRunner
+from .supervisor import (
+    SweepCheckpoint,
+    TrialFailure,
+    TrialKey,
+    TrialOutcome,
+    TrialPolicy,
+    TrialSupervisor,
+)
 from .tables import format_accuracy_table, format_series, format_timing_table
 from .timing import attacker_timings, defender_timings
 
@@ -23,7 +31,14 @@ __all__ = [
     "ExperimentRunner",
     "AccuracyTable",
     "CellResult",
+    "SweepCheckpoint",
+    "TrialFailure",
+    "TrialKey",
+    "TrialOutcome",
+    "TrialPolicy",
+    "TrialSupervisor",
     "render_comparison",
+    "render_failure_appendix",
     "evaluate_shape_claims",
     "format_accuracy_table",
     "format_timing_table",

@@ -1,9 +1,20 @@
 """Experiment runner: attack → defense grids with poison-graph caching.
 
 Regenerates the accuracy tables (IV–VI) and all accuracy-vs-parameter
-figures.  Poisoned graphs are cached per (dataset, attacker, rate, scale) so
-a table's eight defender columns reuse one attack run, exactly as the
-paper's protocol (generate poison graphs once, evaluate all defenders).
+figures.  Poisoned graphs are cached per (dataset, attacker, rate,
+dataset-seed, scale) so a table's eight defender columns reuse one attack
+run, exactly as the paper's protocol (generate poison graphs once, evaluate
+all defenders).
+
+Grid sweeps are fault tolerant: every (dataset, attacker, rate, defender,
+seed) trial runs under a :class:`~repro.experiments.supervisor.TrialSupervisor`
+(bounded retries with per-attempt reseeding, optional wall-clock deadline),
+so one diverging trainer yields a structured
+:class:`~repro.experiments.supervisor.TrialFailure` and an ``n/a`` cell
+instead of a crashed sweep.  With a
+:class:`~repro.experiments.supervisor.SweepCheckpoint` attached, completed
+cells and poison graphs are journalled after every cell and an interrupted
+sweep resumes bit-identically.
 """
 
 from __future__ import annotations
@@ -17,9 +28,17 @@ from ..attacks.base import AttackResult, Attacker
 from ..datasets import load_dataset
 from ..defenses.base import Defender
 from ..graph import Graph
+from ..utils import faults
 from .config import ExperimentScale, defender_names_for, make_attacker, make_defender
+from .supervisor import SweepCheckpoint, TrialFailure, TrialKey, TrialSupervisor
 
 __all__ = ["CellResult", "AccuracyTable", "ExperimentRunner"]
+
+# Odd prime stride separating per-attempt reseeds from the base seed range,
+# so retry seeds never collide with another trial's base seed.
+_RESEED_STRIDE = 1_000_003
+
+CLEAN_ROW = "Clean"
 
 
 @dataclass(frozen=True)
@@ -41,35 +60,62 @@ class CellResult:
 
 @dataclass
 class AccuracyTable:
-    """One of the paper's accuracy grids (rows: attackers, cols: defenders)."""
+    """One of the paper's accuracy grids (rows: attackers, cols: defenders).
+
+    Cells are ``None`` when their trial failed or was quarantined; the
+    corresponding :class:`TrialFailure` records live in :attr:`failures`.
+    """
 
     dataset: str
     rate: float
-    rows: dict[str, dict[str, CellResult]] = field(default_factory=dict)
+    rows: dict[str, dict[str, Optional[CellResult]]] = field(default_factory=dict)
+    failures: list[TrialFailure] = field(default_factory=list)
 
-    def best_defender(self, attacker: str) -> str:
-        """Column the paper would bracket: highest accuracy under ``attacker``."""
-        row = self.rows[attacker]
+    @property
+    def num_failed_cells(self) -> int:
+        return sum(1 for row in self.rows.values() for cell in row.values() if cell is None)
+
+    def best_defender(self, attacker: str) -> Optional[str]:
+        """Column the paper would bracket: highest accuracy under ``attacker``.
+
+        ``None`` when every cell of the row is missing.
+        """
+        row = {name: cell for name, cell in self.rows[attacker].items() if cell is not None}
+        if not row:
+            return None
         return max(row, key=lambda name: row[name].mean)
 
-    def strongest_attacker(self, defender: str) -> str:
-        """Row the paper would bold: lowest accuracy for ``defender``."""
+    def strongest_attacker(self, defender: str) -> Optional[str]:
+        """Row the paper would bold: lowest accuracy for ``defender``.
+
+        ``None`` when no attacked row has a value for ``defender``.
+        """
         candidates = {
             attacker: row[defender].mean
             for attacker, row in self.rows.items()
-            if attacker != "Clean" and defender in row
+            if attacker != CLEAN_ROW and row.get(defender) is not None
         }
+        if not candidates:
+            return None
         return min(candidates, key=candidates.get)  # type: ignore[arg-type]
 
 
 class ExperimentRunner:
     """Builds datasets, runs attacks once, and evaluates defender grids."""
 
-    def __init__(self, config: Optional[ExperimentScale] = None, dataset_seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: Optional[ExperimentScale] = None,
+        dataset_seed: int = 0,
+        supervisor: Optional[TrialSupervisor] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+    ) -> None:
         self.config = config or ExperimentScale.from_env()
         self.dataset_seed = int(dataset_seed)
+        self.supervisor = supervisor
+        self.checkpoint = checkpoint
         self._graphs: dict[str, Graph] = {}
-        self._poisons: dict[tuple[str, str, float], AttackResult] = {}
+        self._poisons: dict[tuple[str, str, float, int, float], AttackResult] = {}
 
     # ------------------------------------------------------------------
     def graph(self, dataset: str) -> Graph:
@@ -81,19 +127,58 @@ class ExperimentRunner:
             )
         return self._graphs[key]
 
+    def _poison_key(
+        self, dataset: str, attacker_name: str, rate: float
+    ) -> tuple[str, str, float, int, float]:
+        # dataset_seed and scale are part of the key: mutating runner config
+        # mid-process must never serve a poison generated for another graph
+        # instance.
+        return (dataset.lower(), attacker_name, rate, self.dataset_seed, self.config.scale)
+
     def attack(
         self,
         dataset: str,
         attacker_name: str,
         rate: Optional[float] = None,
         attacker: Optional[Attacker] = None,
+        attempt: int = 0,
     ) -> AttackResult:
-        """Run (or fetch the cached) attack on a dataset."""
+        """Run (or fetch the cached) attack on a dataset.
+
+        ``attempt`` reseeds the attacker on supervised retries (attempt 0
+        keeps the historical seed-0 behaviour).
+        """
         rate = self.config.rate if rate is None else rate
-        key = (dataset.lower(), attacker_name, rate)
+        key = self._poison_key(dataset, attacker_name, rate)
         if key not in self._poisons:
-            attacker = attacker or make_attacker(attacker_name, dataset, seed=0)
-            self._poisons[key] = attacker.attack(self.graph(dataset), perturbation_rate=rate)
+            if self.checkpoint is not None:
+                cached = self.checkpoint.load_poison(
+                    dataset.lower(), attacker_name, rate, self.dataset_seed, self.config.scale
+                )
+                if cached is not None:
+                    self._poisons[key] = cached
+                    return cached
+            faults.perturb(
+                "attacker",
+                dataset=dataset.lower(),
+                attacker=attacker_name,
+                rate=rate,
+                attempt=attempt,
+            )
+            attacker = attacker or make_attacker(
+                attacker_name, dataset, seed=attempt * _RESEED_STRIDE
+            )
+            result = attacker.attack(self.graph(dataset), perturbation_rate=rate)
+            self._poisons[key] = result
+            if self.checkpoint is not None:
+                self.checkpoint.save_poison(
+                    dataset.lower(),
+                    attacker_name,
+                    rate,
+                    self.dataset_seed,
+                    self.config.scale,
+                    result,
+                )
         return self._poisons[key]
 
     # ------------------------------------------------------------------
@@ -113,6 +198,74 @@ class ExperimentRunner:
         ]
         return CellResult.from_values(values)
 
+    # -- supervised sweep ----------------------------------------------
+    def _defense_trial(
+        self,
+        key: TrialKey,
+        graph: Graph,
+        dataset: str,
+    ) -> Callable[[int], float]:
+        """A supervised trial callable: fit one defender seed on ``graph``."""
+
+        def run(attempt: int) -> float:
+            faults.perturb(
+                "defender",
+                dataset=dataset.lower(),
+                attacker=key.attacker,
+                defender=key.defender,
+                seed=key.seed,
+                attempt=attempt,
+            )
+            seed = key.seed + attempt * _RESEED_STRIDE
+            return make_defender(key.defender, dataset, seed=seed).fit(graph).test_accuracy
+
+        return run
+
+    def _supervised_cell(
+        self,
+        supervisor: TrialSupervisor,
+        graph: Graph,
+        dataset: str,
+        attacker_name: str,
+        defender_name: str,
+        rate: float,
+    ) -> Optional[CellResult]:
+        """One grid cell under supervision: ``None`` when any seed fails.
+
+        Completed cells are journalled to the checkpoint; the first
+        permanent failure quarantines the defender, so its remaining rows
+        skip straight to ``n/a`` without re-recording failures.
+        """
+        if self.checkpoint is not None:
+            cached = self.checkpoint.cell_values(
+                dataset.lower(), attacker_name, rate, defender_name
+            )
+            if cached is not None:
+                return CellResult.from_values(cached)
+
+        values: list[float] = []
+        for seed in range(self.config.seeds):
+            key = TrialKey(
+                dataset=dataset.lower(),
+                attacker=attacker_name,
+                rate=rate,
+                defender=defender_name,
+                seed=seed,
+            )
+            already_quarantined = supervisor.quarantined(key) is not None
+            outcome = supervisor.run(key, self._defense_trial(key, graph, dataset))
+            if not outcome.ok:
+                if not already_quarantined and self.checkpoint is not None:
+                    self.checkpoint.record_failure(outcome.failure)
+                return None
+            values.append(outcome.value)
+
+        if self.checkpoint is not None:
+            self.checkpoint.record_cell(
+                dataset.lower(), attacker_name, rate, defender_name, values
+            )
+        return CellResult.from_values(values)
+
     def accuracy_table(
         self,
         dataset: str,
@@ -121,23 +274,57 @@ class ExperimentRunner:
         rate: Optional[float] = None,
         include_clean: bool = True,
     ) -> AccuracyTable:
-        """Regenerate a Table IV/V/VI-style grid for ``dataset``."""
+        """Regenerate a Table IV/V/VI-style grid for ``dataset``.
+
+        Every trial runs under the runner's :class:`TrialSupervisor` (a
+        default one is created when none was given); failed cells come back
+        as ``None`` with their :class:`TrialFailure` records on
+        ``table.failures``.  Interrupts (``KeyboardInterrupt`` or an
+        injected kill) propagate — with a checkpoint attached, a rerun with
+        ``resume=True`` picks up after the last completed cell.
+        """
         from .config import ATTACKER_NAMES
 
         attackers = attackers if attackers is not None else list(ATTACKER_NAMES)
         defenders = defenders if defenders is not None else defender_names_for(dataset)
         rate = self.config.rate if rate is None else rate
+        supervisor = self.supervisor or TrialSupervisor()
         table = AccuracyTable(dataset=dataset, rate=rate)
 
-        if include_clean:
-            clean = self.graph(dataset)
-            table.rows["Clean"] = {
-                name: self.evaluate_defender(clean, dataset, name) for name in defenders
-            }
-        for attacker_name in attackers:
-            poisoned = self.attack(dataset, attacker_name, rate).poisoned
+        rows: list[str] = ([CLEAN_ROW] if include_clean else []) + list(attackers)
+        for attacker_name in rows:
+            graph = self._attack_row_graph(supervisor, dataset, attacker_name, rate)
+            if graph is None:
+                table.rows[attacker_name] = {name: None for name in defenders}
+                continue
             table.rows[attacker_name] = {
-                name: self.evaluate_defender(poisoned, dataset, name)
+                name: self._supervised_cell(
+                    supervisor, graph, dataset, attacker_name, name, rate
+                )
                 for name in defenders
             }
+
+        table.failures = list(supervisor.failures)
         return table
+
+    def _attack_row_graph(
+        self,
+        supervisor: TrialSupervisor,
+        dataset: str,
+        attacker_name: str,
+        rate: float,
+    ) -> Optional[Graph]:
+        """The graph a row's defenders train on; ``None`` if the attack failed."""
+        if attacker_name == CLEAN_ROW:
+            return self.graph(dataset)
+        key = TrialKey(dataset=dataset.lower(), attacker=attacker_name, rate=rate)
+        already_quarantined = supervisor.quarantined(key) is not None
+        outcome = supervisor.run(
+            key,
+            lambda attempt: self.attack(dataset, attacker_name, rate, attempt=attempt),
+        )
+        if not outcome.ok:
+            if not already_quarantined and self.checkpoint is not None:
+                self.checkpoint.record_failure(outcome.failure)
+            return None
+        return outcome.value.poisoned

@@ -1,0 +1,431 @@
+"""Fault-tolerant trial execution: supervision, retries, and checkpoints.
+
+The paper's accuracy grids (Tables IV–VI) are hundreds of independent
+(dataset, attacker, rate, defender, seed) trials; a single diverging trainer
+must not throw away hours of cached poison graphs.  This module supplies the
+two pieces the runner composes:
+
+:class:`TrialSupervisor`
+    Runs one trial callable with a wall-clock deadline, bounded retries with
+    exponential backoff and per-attempt reseeding, and converts exhausted
+    retries into structured :class:`TrialFailure` records.  Repeated-failure
+    *quarantine* ensures a permanently broken method fails once and is
+    skipped thereafter instead of burning its retry budget in every row.
+
+:class:`SweepCheckpoint`
+    An append-only JSONL journal of completed cells plus poison graphs
+    persisted through :mod:`repro.io`, written after every cell so an
+    interrupted sweep resumes without re-running attacks.  Cell values are
+    stored as JSON floats (``repr``-round-trip exact), so a resumed sweep
+    reproduces the uninterrupted table bit for bit.
+
+``BaseException`` subclasses that are not ``Exception`` (``KeyboardInterrupt``,
+:class:`~repro.utils.faults.InjectedKill`) always propagate: an operator
+abort must stop the sweep, not become a failure record.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from ..attacks.base import AttackResult
+from ..errors import ConfigError, DeadlineError, TrialError
+from ..io import load_attack_result, save_attack_result
+
+__all__ = [
+    "TrialKey",
+    "TrialFailure",
+    "TrialPolicy",
+    "TrialOutcome",
+    "TrialSupervisor",
+    "SweepCheckpoint",
+]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TrialKey:
+    """Identity of one supervised trial.
+
+    Attack trials leave ``defender``/``seed`` as ``None`` (one attack is
+    shared by a whole row); defense trials set both.  ``attacker`` is
+    ``"Clean"`` for the unpoisoned row.
+    """
+
+    dataset: str
+    attacker: str
+    rate: float
+    defender: Optional[str] = None
+    seed: Optional[int] = None
+
+    def label(self) -> str:
+        parts = [self.dataset, self.attacker, f"r={self.rate:g}"]
+        if self.defender is not None:
+            parts.append(self.defender)
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return "/".join(parts)
+
+    def quarantine_key(self) -> tuple:
+        """What a permanent failure of this trial poisons.
+
+        A broken defender is broken for every attacker row, so defense
+        trials quarantine (dataset, defender); attack trials quarantine
+        (dataset, attacker, rate).
+        """
+        if self.defender is not None:
+            return ("defend", self.dataset, self.defender)
+        return ("attack", self.dataset, self.attacker, self.rate)
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """Structured record of a trial that exhausted its retries."""
+
+    key: TrialKey
+    attempts: int
+    elapsed_seconds: float
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def summary(self) -> str:
+        return (
+            f"{self.key.label()}: {self.error_type}: {self.message} "
+            f"({self.attempts} attempts, {self.elapsed_seconds:.2f}s)"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "dataset": self.key.dataset,
+            "attacker": self.key.attacker,
+            "rate": self.key.rate,
+            "defender": self.key.defender,
+            "seed": self.key.seed,
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TrialFailure":
+        return cls(
+            key=TrialKey(
+                dataset=data["dataset"],
+                attacker=data["attacker"],
+                rate=data["rate"],
+                defender=data.get("defender"),
+                seed=data.get("seed"),
+            ),
+            attempts=int(data["attempts"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            error_type=data["error_type"],
+            message=data["message"],
+            traceback=data.get("traceback", ""),
+        )
+
+
+@dataclass(frozen=True)
+class TrialPolicy:
+    """Retry/deadline policy shared by every trial of a sweep."""
+
+    max_attempts: int = 2
+    deadline_seconds: Optional[float] = None
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+        if self.backoff_seconds < 0:
+            raise ConfigError(
+                f"backoff_seconds must be non-negative, got {self.backoff_seconds}"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class TrialOutcome:
+    """Result of :meth:`TrialSupervisor.run`: a value or a failure."""
+
+    key: TrialKey
+    value: Any = None
+    failure: Optional[TrialFailure] = None
+    attempts: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class TrialSupervisor:
+    """Runs trial callables under a :class:`TrialPolicy`.
+
+    The callable receives the (0-based) attempt number so callers can
+    reseed per attempt — a diverging initialization should not be retried
+    verbatim.  ``sleep`` is injectable so tests can run backoff instantly.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[TrialPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy or TrialPolicy()
+        self.failures: list[TrialFailure] = []
+        self._sleep = sleep
+        self._quarantine: dict[tuple, TrialFailure] = {}
+
+    # ------------------------------------------------------------------
+    def quarantined(self, key: TrialKey) -> Optional[TrialFailure]:
+        """The failure that quarantined ``key``'s method, if any."""
+        return self._quarantine.get(key.quarantine_key())
+
+    def run(self, key: TrialKey, fn: Callable[[int], Any]) -> TrialOutcome:
+        """Run ``fn(attempt)`` under the policy; never raises ``Exception``.
+
+        Returns a :class:`TrialOutcome` whose ``failure`` is set when every
+        attempt failed; the failure is also appended to :attr:`failures`
+        and the trial's method is quarantined.  Non-``Exception``
+        ``BaseException`` (operator interrupts) propagate immediately.
+        """
+        quarantining = self.quarantined(key)
+        if quarantining is not None:
+            return TrialOutcome(key=key, failure=quarantining)
+
+        started = time.perf_counter()
+        last_error: Optional[BaseException] = None
+        last_tb = ""
+        for attempt in range(self.policy.max_attempts):
+            try:
+                value = self._attempt(key, fn, attempt)
+                return TrialOutcome(
+                    key=key,
+                    value=value,
+                    attempts=attempt + 1,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+            except Exception as error:  # noqa: BLE001 — supervision boundary
+                last_error = error
+                last_tb = traceback.format_exc()
+                if attempt + 1 < self.policy.max_attempts:
+                    self._sleep(self.policy.backoff_for(attempt + 1))
+
+        failure = TrialFailure(
+            key=key,
+            attempts=self.policy.max_attempts,
+            elapsed_seconds=time.perf_counter() - started,
+            error_type=type(last_error).__name__,
+            message=str(last_error),
+            traceback=last_tb,
+        )
+        self.failures.append(failure)
+        self._quarantine[key.quarantine_key()] = failure
+        return TrialOutcome(
+            key=key,
+            failure=failure,
+            attempts=failure.attempts,
+            elapsed_seconds=failure.elapsed_seconds,
+        )
+
+    def run_or_raise(self, key: TrialKey, fn: Callable[[int], Any]) -> Any:
+        """Like :meth:`run` but raises :class:`TrialError` on failure."""
+        outcome = self.run(key, fn)
+        if outcome.failure is not None:
+            raise TrialError(
+                outcome.failure.summary(),
+                key=key,
+                attempts=outcome.failure.attempts,
+                elapsed_seconds=outcome.failure.elapsed_seconds,
+            )
+        return outcome.value
+
+    # ------------------------------------------------------------------
+    def _attempt(self, key: TrialKey, fn: Callable[[int], Any], attempt: int) -> Any:
+        deadline = self.policy.deadline_seconds
+        if deadline is None:
+            return fn(attempt)
+
+        box: dict[str, Any] = {}
+        done = threading.Event()
+
+        def target() -> None:
+            try:
+                box["value"] = fn(attempt)
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                box["error"] = error
+            finally:
+                done.set()
+
+        worker = threading.Thread(
+            target=target, name=f"trial-{key.label()}", daemon=True
+        )
+        started = time.perf_counter()
+        worker.start()
+        if not done.wait(deadline):
+            # The worker is abandoned (daemon): Python threads cannot be
+            # killed, so a genuinely hung trial leaks a sleeping thread.
+            raise DeadlineError(
+                f"trial {key.label()} exceeded its {deadline:g}s deadline "
+                f"on attempt {attempt + 1}",
+                deadline_seconds=deadline,
+                key=key,
+                attempts=attempt + 1,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+
+# ---------------------------------------------------------------------------
+
+
+class SweepCheckpoint:
+    """Journal of completed sweep cells plus persisted poison graphs.
+
+    Layout under ``directory``::
+
+        journal.jsonl                    # one JSON record per event
+        poison_<dataset>_<attacker>_...  # .npz attack archives (repro.io)
+
+    Journal records are ``{"kind": "cell", ...}`` with the per-seed
+    accuracy values, or ``{"kind": "failure", ...}`` with a serialized
+    :class:`TrialFailure`.  Failed cells are *not* marked complete: a
+    resumed sweep retries them (the failure records remain for
+    post-mortems).  Every record is written and flushed before the sweep
+    moves on, so the journal is valid after a kill at any point; a
+    truncated trailing line (kill mid-write) is ignored on load.
+    """
+
+    def __init__(self, directory: PathLike, resume: bool = False) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.directory / "journal.jsonl"
+        self._cells: dict[tuple, list[float]] = {}
+        self.failures: list[TrialFailure] = []
+        if resume:
+            self._load()
+        else:
+            self.journal_path.write_text("")
+
+    # -- journal --------------------------------------------------------
+    @staticmethod
+    def _cell_key(dataset: str, attacker: str, rate: float, defender: str) -> tuple:
+        return (dataset, attacker, float(rate), defender)
+
+    def _load(self) -> None:
+        if not self.journal_path.exists():
+            return
+        for line in self.journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing write from a hard kill
+            if record.get("kind") == "cell":
+                key = self._cell_key(
+                    record["dataset"],
+                    record["attacker"],
+                    record["rate"],
+                    record["defender"],
+                )
+                self._cells[key] = [float(v) for v in record["values"]]
+            elif record.get("kind") == "failure":
+                self.failures.append(TrialFailure.from_json(record))
+
+    def _append(self, record: dict) -> None:
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+    def cell_values(
+        self, dataset: str, attacker: str, rate: float, defender: str
+    ) -> Optional[list[float]]:
+        """Per-seed values of a previously completed cell, or ``None``."""
+        return self._cells.get(self._cell_key(dataset, attacker, rate, defender))
+
+    def record_cell(
+        self,
+        dataset: str,
+        attacker: str,
+        rate: float,
+        defender: str,
+        values: list[float],
+    ) -> None:
+        """Mark a cell complete (journalled immediately)."""
+        self._cells[self._cell_key(dataset, attacker, rate, defender)] = list(values)
+        self._append(
+            {
+                "kind": "cell",
+                "dataset": dataset,
+                "attacker": attacker,
+                "rate": float(rate),
+                "defender": defender,
+                "values": [float(v) for v in values],
+            }
+        )
+
+    def record_failure(self, failure: TrialFailure) -> None:
+        """Journal a trial failure (cell stays incomplete for resume)."""
+        self._append({"kind": "failure", **failure.to_json()})
+
+    # -- poison graphs --------------------------------------------------
+    def poison_path(
+        self,
+        dataset: str,
+        attacker: str,
+        rate: float,
+        dataset_seed: int,
+        scale: float,
+    ) -> Path:
+        slug = "".join(c if c.isalnum() else "-" for c in attacker)
+        return self.directory / (
+            f"poison_{dataset}_{slug}_r{rate:g}_ds{dataset_seed}_x{scale:g}.npz"
+        )
+
+    def load_poison(
+        self,
+        dataset: str,
+        attacker: str,
+        rate: float,
+        dataset_seed: int,
+        scale: float,
+    ) -> Optional[AttackResult]:
+        """The persisted attack result for this row, or ``None``."""
+        path = self.poison_path(dataset, attacker, rate, dataset_seed, scale)
+        if not path.exists():
+            return None
+        return load_attack_result(path)
+
+    def save_poison(
+        self,
+        dataset: str,
+        attacker: str,
+        rate: float,
+        dataset_seed: int,
+        scale: float,
+        result: AttackResult,
+    ) -> Path:
+        path = self.poison_path(dataset, attacker, rate, dataset_seed, scale)
+        save_attack_result(result, path)
+        return path

@@ -14,7 +14,9 @@ def format_accuracy_table(table: AccuracyTable, title: str = "") -> str:
 
     The best defender per attacker row is wrapped in ``( )`` and the
     strongest attacker per defender column is marked with ``*``, mirroring
-    the paper's parentheses/bold conventions.
+    the paper's parentheses/bold conventions.  Cells whose trials failed
+    (``None``) render as ``n/a``; partial grids annotate the failure count
+    below the table (full records go in the report's failure appendix).
     """
     defenders = list(next(iter(table.rows.values())).keys())
     strongest = {
@@ -37,13 +39,24 @@ def format_accuracy_table(table: AccuracyTable, title: str = "") -> str:
         best = table.best_defender(attacker)
         cells = [attacker]
         for name in defenders:
-            text = str(row[name])
+            cell = row[name]
+            if cell is None:
+                cells.append("n/a")
+                continue
+            text = str(cell)
             if name == best:
                 text = f"({text})"
             if strongest.get(name) == attacker:
                 text = f"*{text}"
             cells.append(text)
         lines.append(fmt_row(cells))
+    failed = table.num_failed_cells
+    if failed:
+        lines.append(
+            f"[{failed} cell{'s' if failed != 1 else ''} n/a — "
+            f"{len(table.failures)} trial failure"
+            f"{'s' if len(table.failures) != 1 else ''}; see failure appendix]"
+        )
     return "\n".join(lines)
 
 

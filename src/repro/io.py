@@ -9,6 +9,7 @@ flip lists and budget metadata — self-contained and dependency-free.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -72,13 +73,32 @@ def _graph_from_payload(data: dict, prefix: str, name: str) -> Graph:
     )
 
 
+def _atomic_savez(path: PathLike, payload: dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` atomically: a kill mid-write never corrupts ``path``.
+
+    Checkpoint archives are re-read on resume, so a torn write must leave
+    either the old file or nothing — write to a same-directory temp name
+    (kept ``.npz``-suffixed so NumPy does not append an extension) and
+    ``os.replace`` into place.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":  # match np.savez's extension-appending behaviour
+        path = path.with_name(path.name + ".npz")
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}.npz")
+    try:
+        np.savez_compressed(tmp, **payload)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def save_graph(graph: Graph, path: PathLike) -> None:
-    """Write ``graph`` to a ``.npz`` archive."""
+    """Write ``graph`` to a ``.npz`` archive (atomically)."""
     payload = _graph_payload(graph)
     payload["meta"] = np.array(
         json.dumps({"version": _FORMAT_VERSION, "kind": "graph", "name": graph.name})
     )
-    np.savez_compressed(Path(path), **payload)
+    _atomic_savez(path, payload)
 
 
 def load_graph(path: PathLike) -> Graph:
@@ -112,7 +132,7 @@ def save_attack_result(result: AttackResult, path: PathLike) -> None:
             }
         )
     )
-    np.savez_compressed(Path(path), **payload)
+    _atomic_savez(path, payload)
 
 
 def load_attack_result(path: PathLike) -> AttackResult:

@@ -3,6 +3,12 @@
 Implements the standard transductive protocol from the paper's baselines:
 full-batch Adam on the cross-entropy of labelled training nodes (Eq. 2),
 early stopping on validation accuracy with best-weights restoration.
+
+A non-finite training loss (NaN/±inf) raises
+:class:`~repro.errors.DivergenceError` before the optimizer steps, restoring
+the best-validation checkpoint when early stopping has one — the trial
+supervisor retries such runs with a fresh seed instead of averaging garbage
+into a table cell.
 """
 
 from __future__ import annotations
@@ -13,9 +19,10 @@ from typing import Callable, Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
-from ..errors import ConfigError
+from ..errors import ConfigError, DivergenceError
 from ..graph import Graph, gcn_normalize
 from ..tensor import Adam, Tensor, functional as F, no_grad
+from ..utils import faults
 from ..utils.rng import SeedLike
 from .metrics import accuracy
 from .module import Module
@@ -125,13 +132,36 @@ def train_node_classifier(
     for epoch in range(config.epochs):
         model.train()
         optimizer.zero_grad()
+        faults.perturb("trainer", epoch=epoch)
         logits = forward(adjacency, features)
         loss = F.cross_entropy(logits, graph.labels, graph.train_mask)
         if loss_fn is not None:
             loss = loss + loss_fn(logits)
+        loss_value = faults.corrupt("trainer", float(loss.item()), epoch=epoch)
+        if not np.isfinite(loss_value):
+            # Divergence is unrecoverable for this run: raise instead of
+            # silently training on garbage, but restore the best-validation
+            # checkpoint first so callers that catch still hold usable
+            # weights.
+            recovered = result.best_val_accuracy >= 0.0
+            if recovered:
+                model.load_state_dict(best_state)
+            raise DivergenceError(
+                f"non-finite training loss {loss_value} at epoch {epoch}"
+                + (
+                    f" (restored best checkpoint, val_acc="
+                    f"{result.best_val_accuracy:.4f})"
+                    if recovered
+                    else " (no checkpoint to restore)"
+                ),
+                epoch=epoch,
+                loss=loss_value,
+                recovered=recovered,
+                best_val_accuracy=result.best_val_accuracy,
+            )
         loss.backward()
         optimizer.step()
-        result.train_losses.append(float(loss.item()))
+        result.train_losses.append(loss_value)
 
         model.eval()
         with no_grad():

@@ -1,6 +1,17 @@
-"""Shared utilities: seeding, timing, validation."""
+"""Shared utilities: seeding, timing, fault injection, validation."""
 
+from . import faults
+from .faults import FaultInjector, FaultSpec, InjectedFault, InjectedKill
 from .rng import ensure_rng, spawn_rngs
 from .timer import Timer
 
-__all__ = ["ensure_rng", "spawn_rngs", "Timer"]
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "faults",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedKill",
+]

@@ -73,11 +73,14 @@ class TestDegenerateGraphs:
 
 class TestCorruptInputs:
     def test_nan_features_fail_training_loudly(self, ring_graph):
+        from repro.errors import DivergenceError
+
         bad = ring_graph.with_features(np.full_like(ring_graph.features, np.nan))
         model = GCN(bad.num_features, 2, seed=0)
-        result = train_node_classifier(model, bad, TrainConfig(epochs=3, patience=3))
-        # Loss must surface the NaN rather than report a fake accuracy.
-        assert np.isnan(result.train_losses).any()
+        # The NaN loss must raise rather than report a fake accuracy.
+        with pytest.raises(DivergenceError) as excinfo:
+            train_node_classifier(model, bad, TrainConfig(epochs=3, patience=3))
+        assert np.isnan(excinfo.value.loss)
 
     def test_weighted_adjacency_rejected(self):
         adjacency = sp.lil_matrix((3, 3))

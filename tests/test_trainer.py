@@ -52,6 +52,21 @@ class TestTrainingLoop:
         with pytest.raises(ConfigError):
             train_node_classifier(GCN(4, 2, seed=0), no_masks)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nonfinite_loss_raises_divergence_error(self, small_cora, bad):
+        from repro.errors import DivergenceError
+
+        model = GCN(small_cora.num_features, small_cora.num_classes, seed=0)
+        with pytest.raises(DivergenceError) as excinfo:
+            train_node_classifier(
+                model,
+                small_cora,
+                TrainConfig(epochs=5),
+                loss_fn=lambda logits: Tensor(bad),
+            )
+        assert excinfo.value.epoch == 0
+        assert not np.isfinite(excinfo.value.loss)
+
     def test_extra_loss_hook_called(self, small_cora):
         calls = []
 
