@@ -96,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
         "starting fresh",
     )
     p_table.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = in-process); "
+        "parallel output is bit-identical to serial",
+    )
+    p_table.add_argument(
+        "--blas-threads",
+        type=int,
+        default=None,
+        help="BLAS/OpenMP threads per worker (default: cores // jobs, so "
+        "jobs x threads never oversubscribes)",
+    )
+    p_table.add_argument(
         "--max-attempts",
         type=int,
         default=2,
@@ -170,7 +184,12 @@ def _cmd_defend(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
-    from .experiments import SweepCheckpoint, TrialPolicy, TrialSupervisor
+    from .experiments import (
+        SweepCheckpoint,
+        TrialPolicy,
+        TrialSupervisor,
+        make_executor,
+    )
     from .utils import faults
 
     if args.resume and not args.checkpoint_dir:
@@ -184,7 +203,10 @@ def _cmd_table(args: argparse.Namespace) -> int:
         if args.checkpoint_dir
         else None
     )
-    runner = ExperimentRunner(config, supervisor=supervisor, checkpoint=checkpoint)
+    executor = make_executor(args.jobs, blas_threads=args.blas_threads)
+    runner = ExperimentRunner(
+        config, supervisor=supervisor, checkpoint=checkpoint, executor=executor
+    )
     # REPRO_FAULTS lets operators chaos-test a real sweep end to end.
     with faults.active(faults.FaultInjector.from_env()):
         table = runner.accuracy_table(
@@ -192,6 +214,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
             attackers=args.attackers or None,
             defenders=args.defenders or None,
         )
+    if args.jobs > 1 and executor.timings is not None:
+        print(executor.timings.summary(), file=sys.stderr)
     if args.compare:
         from .experiments import render_comparison
 

@@ -17,7 +17,7 @@ import scipy.sparse as sp
 from ..errors import ConfigError
 from ..graph import Graph, gcn_normalize
 from ..nn import GCN, TrainConfig, accuracy
-from ..tensor import Adam, Tensor, functional as F
+from ..tensor import Adam, Tensor, functional as F, no_grad
 from ..utils.rng import SeedLike, ensure_rng
 from .base import Defender
 
@@ -90,7 +90,8 @@ class DropEdgeGCN(Defender):
             optimizer.step()
 
             model.eval()
-            val_logits = model.forward(full_operator, features)
+            with no_grad():
+                val_logits = model.forward(full_operator, features)
             val_acc = accuracy(val_logits, graph.labels, graph.val_mask)
             if val_acc > best_val:
                 best_val, best_state, stall = val_acc, model.state_dict(), 0
@@ -104,7 +105,8 @@ class DropEdgeGCN(Defender):
         test_mask = graph.test_mask if graph.test_mask is not None else ~(
             graph.train_mask | graph.val_mask
         )
-        test_logits = model.forward(full_operator, features)
+        with no_grad():
+            test_logits = model.forward(full_operator, features)
         return (
             accuracy(test_logits, graph.labels, test_mask),
             best_val,

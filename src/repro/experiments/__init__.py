@@ -8,6 +8,15 @@ from .config import (
     make_attacker,
     make_defender,
 )
+from .parallel import (
+    ParallelTrialExecutor,
+    SerialTrialExecutor,
+    SweepPlan,
+    SweepRuntime,
+    TrialTask,
+    assemble_table,
+    make_executor,
+)
 from .report import evaluate_shape_claims, render_comparison, render_failure_appendix
 from .runner import AccuracyTable, CellResult, ExperimentRunner
 from .supervisor import (
@@ -19,7 +28,7 @@ from .supervisor import (
     TrialSupervisor,
 )
 from .tables import format_accuracy_table, format_series, format_timing_table
-from .timing import attacker_timings, defender_timings
+from .timing import SweepTimings, TrialTiming, attacker_timings, defender_timings
 
 __all__ = [
     "ExperimentScale",
@@ -45,4 +54,13 @@ __all__ = [
     "format_series",
     "attacker_timings",
     "defender_timings",
+    "SweepPlan",
+    "SweepRuntime",
+    "TrialTask",
+    "SerialTrialExecutor",
+    "ParallelTrialExecutor",
+    "make_executor",
+    "assemble_table",
+    "SweepTimings",
+    "TrialTiming",
 ]

@@ -1,0 +1,731 @@
+"""Parallel sweep execution: a process-pool trial scheduler with
+deterministic merge.
+
+The paper's accuracy grids are embarrassingly parallel — hundreds of
+independent (attacker, defender, seed) trials — but the serial runner
+executes them one at a time.  This module turns a sweep into an explicit
+dependency DAG and executes it on a pool of worker processes without
+changing a single reported number:
+
+:class:`SweepPlan`
+    Topologically ordered list of :class:`TrialTask` s in *canonical order*
+    — exactly the order the serial runner visits trials.  Poison-graph
+    generation (one ``attack`` task per attacked row) precedes the row's
+    defense trials; everything else is independent and fans out.
+
+:class:`SerialTrialExecutor` / :class:`ParallelTrialExecutor`
+    Run a plan and return ``{task.index: TrialOutcome}``.  The serial
+    executor reproduces today's in-process semantics exactly (shared
+    supervisor, ambient fault injector, quarantine, cell abandonment).
+    The parallel executor dispatches ready tasks to a
+    ``ProcessPoolExecutor``; workers return structured outcomes (never
+    raise ``Exception``), quarantine lives in the parent scheduler, and
+    journal writes stay in the parent so checkpoint/resume is
+    crash-consistent under any completion order.
+
+:func:`assemble_table`
+    Deterministic merge: outcomes are folded into an
+    :class:`~repro.experiments.runner.AccuracyTable` in canonical order,
+    so completion order can never change a cell, the failure appendix, or
+    a mean/stddev.  Parallel output is bit-identical to serial output.
+
+Determinism rests on two facts the test suite pins down: every trial is
+explicitly seeded (``make_defender(seed)``, per-attempt reseeds via
+:data:`~repro.experiments.supervisor.RESEED_STRIDE`), and dataset
+generation is a pure function of ``(name, scale, seed)`` — so a trial
+computes the same float no matter which process runs it.
+
+Fault injection crosses the process boundary explicitly: each task ships a
+copy of the active injector's specs plus the trial's canonical per-site
+ordinal, and the worker seeds a fresh injector with it
+(:meth:`~repro.utils.faults.FaultInjector.seed_counters`), so ``at=N``
+rules fire on the same trial as in a serial run.  ``times=N`` rules
+become per-trial budgets in workers (each worker's injector counts its
+own firings); sweep-global ``times`` accounting cannot exist without
+cross-process synchronization and is documented as per-trial in
+``docs/parallel_sweeps.md``.  Injected kills (``BaseException``) pickle
+back through the pool and abort the sweep, exactly like an operator
+``KeyboardInterrupt``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import multiprocessing
+
+from ..attacks.base import AttackResult
+from ..errors import ConfigError
+from ..graph import Graph
+from ..utils import faults
+from ..utils.blas import limit_blas_threads, plan_worker_threads
+from .supervisor import (
+    RESEED_STRIDE,
+    TrialFailure,
+    TrialKey,
+    TrialOutcome,
+    TrialPolicy,
+    TrialSupervisor,
+)
+from .timing import SweepTimings
+
+__all__ = [
+    "TrialTask",
+    "SweepPlan",
+    "SweepRuntime",
+    "SerialTrialExecutor",
+    "ParallelTrialExecutor",
+    "make_executor",
+    "assemble_table",
+]
+
+CLEAN_ROW = "Clean"
+
+
+# ---------------------------------------------------------------------------
+# Planning
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One node of the sweep DAG.
+
+    ``index`` is the task's position in canonical (serial) order and is the
+    key every executor reports outcomes under.  ``depends_on`` is the index
+    of the attack task whose poison graph this defense trial trains on
+    (``None`` for attack tasks and for the Clean row).  ``site_ordinal`` is
+    the trial's canonical per-site fault-injection index (see
+    :meth:`~repro.utils.faults.FaultInjector.seed_counters`).
+    """
+
+    index: int
+    kind: str  # "attack" | "defense"
+    key: TrialKey
+    depends_on: Optional[int] = None
+    site_ordinal: int = 0
+
+
+@dataclass
+class SweepPlan:
+    """A sweep's trials in canonical order, with row/cell indexes.
+
+    ``dataset`` keeps the caller's original casing (it labels the table);
+    trial keys are lowercased like everywhere else in the harness.
+    """
+
+    dataset: str
+    rate: float
+    rows: list[str]
+    defenders: list[str]
+    seeds: int
+    tasks: list[TrialTask] = field(default_factory=list)
+    attack_tasks: dict[str, TrialTask] = field(default_factory=dict)
+    cell_tasks: dict[tuple[str, str], list[TrialTask]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        dataset: str,
+        rows: list[str],
+        defenders: list[str],
+        rate: float,
+        seeds: int,
+        completed: Optional[set[tuple[str, str]]] = None,
+    ) -> "SweepPlan":
+        """Plan a grid sweep.
+
+        ``completed`` holds (row, defender) cells already present in a
+        checkpoint: their defense tasks are omitted, and a row whose cells
+        are *all* cached gets no attack task either (its poison graph is
+        never needed — the poison cache fast-path covers partial rows).
+        """
+        completed = completed or set()
+        plan = cls(
+            dataset=dataset,
+            rate=float(rate),
+            rows=list(rows),
+            defenders=list(defenders),
+            seeds=int(seeds),
+        )
+        lower = dataset.lower()
+        site_ordinals = {"attacker": 0, "defender": 0}
+
+        def add(kind: str, key: TrialKey, depends_on: Optional[int]) -> TrialTask:
+            site = "attacker" if kind == "attack" else "defender"
+            task = TrialTask(
+                index=len(plan.tasks),
+                kind=kind,
+                key=key,
+                depends_on=depends_on,
+                site_ordinal=site_ordinals[site],
+            )
+            site_ordinals[site] += 1
+            plan.tasks.append(task)
+            return task
+
+        for row in plan.rows:
+            pending = [name for name in plan.defenders if (row, name) not in completed]
+            attack_index: Optional[int] = None
+            if row != CLEAN_ROW and pending:
+                attack = add(
+                    "attack", TrialKey(dataset=lower, attacker=row, rate=plan.rate), None
+                )
+                plan.attack_tasks[row] = attack
+                attack_index = attack.index
+            for name in plan.defenders:
+                if name not in pending:
+                    continue
+                plan.cell_tasks[(row, name)] = [
+                    add(
+                        "defense",
+                        TrialKey(
+                            dataset=lower,
+                            attacker=row,
+                            rate=plan.rate,
+                            defender=name,
+                            seed=seed,
+                        ),
+                        attack_index,
+                    )
+                    for seed in range(plan.seeds)
+                ]
+        return plan
+
+
+@dataclass
+class SweepRuntime:
+    """What an executor needs from the :class:`ExperimentRunner`.
+
+    The serial executor calls ``run_attack``/``run_defense`` (closures over
+    the runner's shared supervisor, so quarantine and retry state behave
+    exactly as before).  The parallel executor instead ships
+    ``config``/``policy``/graph references to workers and uses the
+    ``poison_*`` callbacks to keep the parent's poison cache and the
+    checkpoint authoritative.  ``record_cell`` journals a completed cell
+    the moment its last seed lands — crash-consistent in both modes.
+    """
+
+    dataset: str
+    rate: float
+    scale: float
+    dataset_seed: int
+    policy: TrialPolicy
+    clean_graph: Callable[[], Graph]
+    run_attack: Callable[[TrialKey], TrialOutcome]
+    run_defense: Callable[[TrialKey, Graph], TrialOutcome]
+    poison_lookup: Callable[[str], Optional[AttackResult]]
+    poison_path: Callable[[str], Optional[str]]
+    store_poison: Callable[[str, AttackResult], Optional[str]]
+    record_cell: Callable[[str, str, list[float]], None]
+
+
+class _CellTracker:
+    """Journals each cell as soon as all of its seed trials have succeeded."""
+
+    def __init__(self, plan: SweepPlan, record_cell: Callable[[str, str, list[float]], None]):
+        self._expected = {cell: len(tasks) for cell, tasks in plan.cell_tasks.items()}
+        self._values: dict[tuple[str, str], dict[int, float]] = {}
+        self._failed: set[tuple[str, str]] = set()
+        self._record = record_cell
+
+    def offer(self, task: TrialTask, outcome: TrialOutcome) -> None:
+        cell = (task.key.attacker, task.key.defender)
+        if not outcome.ok:
+            self._failed.add(cell)
+            return
+        values = self._values.setdefault(cell, {})
+        values[task.key.seed] = float(outcome.value)
+        if cell not in self._failed and len(values) == self._expected[cell]:
+            self._record(
+                task.key.attacker,
+                task.key.defender,
+                [values[seed] for seed in sorted(values)],
+            )
+
+
+# ---------------------------------------------------------------------------
+# Serial execution (reference semantics)
+
+
+class SerialTrialExecutor:
+    """In-process executor with exactly the historical serial semantics.
+
+    Trials run through the runner's shared :class:`TrialSupervisor` under
+    the ambient fault injector; a failed seed abandons the rest of its
+    cell, and a failed attack skips the whole row.  This is the executor
+    ``--jobs 1`` uses and the reference the parallel path must match bit
+    for bit.
+    """
+
+    jobs = 1
+
+    def __init__(self) -> None:
+        self.timings: Optional[SweepTimings] = None
+
+    def run(self, plan: SweepPlan, runtime: SweepRuntime) -> dict[int, TrialOutcome]:
+        timings = SweepTimings(jobs=1)
+        timings.start()
+        self.timings = timings
+        outcomes: dict[int, TrialOutcome] = {}
+        cells = _CellTracker(plan, runtime.record_cell)
+        abandoned: set[tuple[str, str]] = set()
+        row_graphs: dict[str, Graph] = {}
+        try:
+            for task in plan.tasks:
+                if task.kind == "attack":
+                    started = time.monotonic()
+                    outcome = runtime.run_attack(task.key)
+                    timings.record(
+                        task.key.label(), "attack", time.monotonic() - started
+                    )
+                    outcomes[task.index] = outcome
+                    if outcome.ok:
+                        row_graphs[task.key.attacker] = outcome.value.poisoned
+                    continue
+
+                cell = (task.key.attacker, task.key.defender)
+                if cell in abandoned:
+                    continue
+                if task.depends_on is not None:
+                    dep = outcomes.get(task.depends_on)
+                    if dep is None or not dep.ok:
+                        continue  # row's attack failed: cell is n/a
+                    graph = row_graphs[task.key.attacker]
+                else:
+                    graph = runtime.clean_graph()
+                started = time.monotonic()
+                outcome = runtime.run_defense(task.key, graph)
+                timings.record(task.key.label(), "defense", time.monotonic() - started)
+                outcomes[task.index] = outcome
+                cells.offer(task, outcome)
+                if not outcome.ok:
+                    abandoned.add(cell)
+        finally:
+            timings.finish()
+        return outcomes
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  Everything below the fold runs inside pool processes; it is
+# deliberately self-contained (module-level functions, picklable payloads).
+
+# Clean graphs and poison graphs are cached per worker process, keyed by
+# their value-determining reference, so a worker running many trials of the
+# same row loads/derives the graph once.
+_WORKER_GRAPHS: dict[tuple, Graph] = {}
+
+
+def _worker_init(blas_threads: Optional[int]) -> None:
+    """Pool initializer: pin the worker's BLAS thread budget.
+
+    Environment variables are authoritative for ``spawn`` workers and for
+    lazily-initialized runtimes under ``fork`` (see :mod:`repro.utils.blas`
+    for the honest caveats).
+    """
+    if blas_threads is not None:
+        limit_blas_threads(blas_threads)
+
+
+def _worker_graph(ref: tuple) -> Graph:
+    """Resolve a graph reference shipped with a task payload.
+
+    ``("dataset", name, scale, seed)`` regenerates the clean graph (pure
+    function of its key), ``("npz", path)`` loads a persisted poison
+    archive, ``("inline", graph)`` carries the graph in the payload (no
+    checkpoint attached, so there is no file to point at).
+    """
+    kind = ref[0]
+    if kind == "inline":
+        return ref[1]
+    if ref not in _WORKER_GRAPHS:
+        if kind == "dataset":
+            from ..datasets import load_dataset
+
+            _, name, scale, seed = ref
+            _WORKER_GRAPHS[ref] = load_dataset(name, scale=scale, seed=seed)
+        elif kind == "npz":
+            from ..io import load_attack_result
+
+            _WORKER_GRAPHS[ref] = load_attack_result(ref[1]).poisoned
+        else:  # pragma: no cover - programming error
+            raise ConfigError(f"unknown graph reference kind {kind!r}")
+    return _WORKER_GRAPHS[ref]
+
+
+@dataclass(frozen=True)
+class _TaskPayload:
+    """Everything a worker needs to run one trial, picklable."""
+
+    kind: str
+    key: TrialKey
+    policy: TrialPolicy
+    graph_ref: tuple
+    fault_specs: tuple[faults.FaultSpec, ...]
+    site_ordinal: int
+
+
+@dataclass(frozen=True)
+class _WorkerResult:
+    """A trial outcome plus the instrumentation the parent merges."""
+
+    outcome: TrialOutcome
+    events: tuple[faults.FaultEvent, ...]
+    started: float
+    finished: float
+
+
+def _execute_trial(payload: _TaskPayload) -> _WorkerResult:
+    """Run one supervised trial inside a pool worker.
+
+    Mirrors the serial trial bodies (:meth:`ExperimentRunner.attack` /
+    ``_defense_trial``) exactly: same fault-injection context, same
+    per-attempt reseeding, same supervisor semantics.  A fresh injector is
+    installed per task — also overriding any ambient injector inherited
+    through ``fork`` — seeded with the trial's canonical site ordinal so
+    index-based fault rules fire on the same trial as in a serial run.
+    ``InjectedKill``/``KeyboardInterrupt`` propagate out of this function;
+    the pool pickles them back to the parent, which aborts the sweep.
+    """
+    from .config import make_attacker, make_defender
+
+    started = time.monotonic()
+    key = payload.key
+    specs = [
+        dataclasses.replace(spec, fired=0, match=dict(spec.match))
+        for spec in payload.fault_specs
+    ]
+    injector = faults.FaultInjector(specs) if specs else None
+    if injector is not None:
+        site = "attacker" if payload.kind == "attack" else "defender"
+        injector.seed_counters({site: payload.site_ordinal})
+    supervisor = TrialSupervisor(payload.policy)
+    graph = _worker_graph(payload.graph_ref)
+
+    if payload.kind == "attack":
+
+        def trial(attempt: int) -> AttackResult:
+            faults.perturb(
+                "attacker",
+                dataset=key.dataset,
+                attacker=key.attacker,
+                rate=key.rate,
+                attempt=attempt,
+            )
+            attacker = make_attacker(key.attacker, key.dataset, seed=attempt * RESEED_STRIDE)
+            return attacker.attack(graph, perturbation_rate=key.rate)
+
+    else:
+
+        def trial(attempt: int) -> float:
+            faults.perturb(
+                "defender",
+                dataset=key.dataset,
+                attacker=key.attacker,
+                defender=key.defender,
+                seed=key.seed,
+                attempt=attempt,
+            )
+            seed = key.seed + attempt * RESEED_STRIDE
+            return make_defender(key.defender, key.dataset, seed=seed).fit(graph).test_accuracy
+
+    with faults.active(injector):
+        outcome = supervisor.run(key, trial)
+    return _WorkerResult(
+        outcome=outcome,
+        events=tuple(injector.events) if injector is not None else (),
+        started=started,
+        finished=time.monotonic(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+
+
+class ParallelTrialExecutor:
+    """Dispatches ready trials to a process pool; merges deterministically.
+
+    Scheduling: every task with no unmet dependency is submitted up front;
+    a row's defense tasks are released when its attack lands (or resolved
+    from the shared poison cache without ever hitting the pool).
+    Quarantine lives here in the parent — the first failure arriving for a
+    quarantine key synthesizes failures for every not-yet-dispatched task
+    sharing it, mirroring the supervisor's skip-after-first-failure
+    contract.  In-flight trials of a just-quarantined method are left to
+    finish; the canonical merge (:func:`assemble_table`) normalizes any
+    extra failures away, which is why completion order cannot leak into
+    the output.
+
+    ``BaseException`` from a worker (injected kill, operator interrupt)
+    drains the pool and propagates, exactly like the serial path.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        blas_threads: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if jobs < 2:
+            raise ConfigError(
+                f"ParallelTrialExecutor needs jobs >= 2, got {jobs}; "
+                "use SerialTrialExecutor (--jobs 1) instead"
+            )
+        self.jobs = int(jobs)
+        self.blas_threads = (
+            int(blas_threads) if blas_threads is not None else plan_worker_threads(jobs)
+        )
+        self.start_method = start_method
+        self.timings: Optional[SweepTimings] = None
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork (Windows, some macOS setups)
+            return multiprocessing.get_context("spawn")
+
+    def run(self, plan: SweepPlan, runtime: SweepRuntime) -> dict[int, TrialOutcome]:
+        timings = SweepTimings(jobs=self.jobs)
+        timings.start()
+        self.timings = timings
+        outcomes: dict[int, TrialOutcome] = {}
+        if not plan.tasks:  # fully checkpointed sweep: nothing to spin up
+            timings.finish()
+            return outcomes
+
+        cells = _CellTracker(plan, runtime.record_cell)
+        quarantine: dict[tuple, TrialFailure] = {}
+        graph_refs: dict[str, tuple] = {
+            CLEAN_ROW: (
+                "dataset",
+                runtime.dataset.lower(),
+                runtime.scale,
+                runtime.dataset_seed,
+            )
+        }
+        ambient = faults.current()
+        fault_specs = (
+            tuple(
+                dataclasses.replace(spec, fired=0, match=dict(spec.match))
+                for spec in ambient.specs
+            )
+            if ambient is not None
+            else ()
+        )
+
+        waiting: dict[int, list[TrialTask]] = {}
+        for task in plan.tasks:
+            if task.depends_on is not None:
+                waiting.setdefault(task.depends_on, []).append(task)
+
+        submit_times: dict[int, float] = {}
+        inflight: dict[Future, TrialTask] = {}
+
+        def submit(pool: ProcessPoolExecutor, task: TrialTask) -> None:
+            """Resolve a ready task from caches/quarantine or dispatch it."""
+            failure = quarantine.get(task.key.quarantine_key())
+            if failure is not None:
+                outcome = TrialOutcome(key=task.key, failure=failure)
+                outcomes[task.index] = outcome
+                if task.kind == "defense":
+                    cells.offer(task, outcome)
+                return
+            if task.kind == "attack":
+                cached = runtime.poison_lookup(task.key.attacker)
+                if cached is not None:
+                    # Shared poison cache hit: resolve without touching the
+                    # pool and without re-persisting (the archive's mtime is
+                    # part of the resume contract).
+                    path = runtime.poison_path(task.key.attacker)
+                    graph_refs[task.key.attacker] = (
+                        ("npz", path) if path is not None else ("inline", cached.poisoned)
+                    )
+                    outcome = TrialOutcome(key=task.key, value=cached, attempts=0)
+                    outcomes[task.index] = outcome
+                    for dependent in waiting.pop(task.index, ()):
+                        submit(pool, dependent)
+                    return
+                graph_ref = graph_refs[CLEAN_ROW]
+            else:
+                graph_ref = graph_refs[task.key.attacker]
+            payload = _TaskPayload(
+                kind=task.kind,
+                key=task.key,
+                policy=runtime.policy,
+                graph_ref=graph_ref,
+                fault_specs=fault_specs,
+                site_ordinal=task.site_ordinal,
+            )
+            submit_times[task.index] = time.monotonic()
+            inflight[pool.submit(_execute_trial, payload)] = task
+
+        def attack_done(
+            pool: ProcessPoolExecutor, task: TrialTask, outcome: TrialOutcome
+        ) -> None:
+            """Store the row's poison and release its waiting defense tasks."""
+            if outcome.ok:
+                result = outcome.value
+                path = runtime.store_poison(task.key.attacker, result)
+                graph_refs[task.key.attacker] = (
+                    ("npz", str(path)) if path is not None else ("inline", result.poisoned)
+                )
+            for dependent in waiting.pop(task.index, ()):
+                if outcome.ok:
+                    submit(pool, dependent)
+                # else: dependents stay without outcomes → n/a cells
+
+        context = self._context()
+        pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(self.blas_threads,),
+        )
+        try:
+            for task in plan.tasks:
+                if task.depends_on is None:
+                    submit(pool, task)
+            while inflight:
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                # Canonical-index order within a completion batch keeps the
+                # parent's bookkeeping deterministic under ties.
+                for future in sorted(done, key=lambda f: inflight[f].index):
+                    task = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as error:  # infrastructure failure
+                        result = _infrastructure_failure(task, error)
+                    outcome = result.outcome
+                    outcomes[task.index] = outcome
+                    timings.record(
+                        task.key.label(),
+                        task.kind,
+                        result.finished - result.started,
+                        result.started - submit_times.get(task.index, result.started),
+                    )
+                    if ambient is not None:
+                        ambient.events.extend(result.events)
+                    if not outcome.ok:
+                        quarantine.setdefault(
+                            outcome.failure.key.quarantine_key(), outcome.failure
+                        )
+                    if task.kind == "attack":
+                        attack_done(pool, task, outcome)
+                    else:
+                        cells.offer(task, outcome)
+        except BaseException:
+            # Injected kill / operator interrupt: drop queued work, let
+            # in-flight trials drain, then propagate — the checkpoint holds
+            # every cell journalled so far, so --resume picks up from here.
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
+        finally:
+            timings.finish()
+        return outcomes
+
+
+def _infrastructure_failure(task: TrialTask, error: Exception) -> _WorkerResult:
+    """Wrap a pool-level error (unpicklable result, worker crash) as a
+    structured failure so one bad trial cannot take down the sweep."""
+    now = time.monotonic()
+    failure = TrialFailure(
+        key=task.key,
+        attempts=1,
+        elapsed_seconds=0.0,
+        error_type=type(error).__name__,
+        message=str(error),
+    )
+    return _WorkerResult(
+        outcome=TrialOutcome(key=task.key, failure=failure, attempts=1),
+        events=(),
+        started=now,
+        finished=now,
+    )
+
+
+def make_executor(
+    jobs: int = 1,
+    blas_threads: Optional[int] = None,
+    start_method: Optional[str] = None,
+):
+    """The executor for ``--jobs N``: serial for 1, process pool otherwise."""
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialTrialExecutor()
+    return ParallelTrialExecutor(jobs, blas_threads=blas_threads, start_method=start_method)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic merge
+
+
+def assemble_table(
+    plan: SweepPlan,
+    outcomes: dict[int, TrialOutcome],
+    cached: dict[tuple[str, str], list[float]],
+):
+    """Fold outcomes into an :class:`AccuracyTable` in canonical order.
+
+    The iteration order here — rows, then defenders, then seeds, with a
+    row's attack failure noted before its cells — IS the serial execution
+    order, so the table and the failure appendix are identical no matter
+    when each trial actually finished.  Only the canonically-first failure
+    per quarantine key is kept: a serial sweep records exactly that one
+    (later trials are skipped by quarantine), so normalizing to it makes
+    parallel output bit-identical.
+    """
+    from .runner import AccuracyTable, CellResult
+
+    table = AccuracyTable(dataset=plan.dataset, rate=plan.rate)
+    noted: set[tuple] = set()
+
+    def note(failure: TrialFailure) -> None:
+        quarantine_key = failure.key.quarantine_key()
+        if quarantine_key not in noted:
+            noted.add(quarantine_key)
+            table.failures.append(failure)
+
+    for row in plan.rows:
+        attack = plan.attack_tasks.get(row)
+        row_ok = True
+        if attack is not None:
+            outcome = outcomes.get(attack.index)
+            if outcome is not None and not outcome.ok:
+                note(outcome.failure)
+                row_ok = False
+        row_cells: dict[str, Optional[CellResult]] = {}
+        for name in plan.defenders:
+            values = cached.get((row, name))
+            if values is not None:
+                row_cells[name] = CellResult.from_values(values)
+                continue
+            if not row_ok:
+                row_cells[name] = None
+                continue
+            seeds: list[float] = []
+            complete = True
+            for task in plan.cell_tasks[(row, name)]:
+                outcome = outcomes.get(task.index)
+                if outcome is None:  # abandoned after an earlier seed failed
+                    complete = False
+                    break
+                if not outcome.ok:
+                    note(outcome.failure)
+                    complete = False
+                    break
+                seeds.append(float(outcome.value))
+            row_cells[name] = CellResult.from_values(seeds) if complete else None
+        table.rows[row] = row_cells
+    return table

@@ -30,13 +30,17 @@ from ..defenses.base import Defender
 from ..graph import Graph
 from ..utils import faults
 from .config import ExperimentScale, defender_names_for, make_attacker, make_defender
-from .supervisor import SweepCheckpoint, TrialFailure, TrialKey, TrialSupervisor
+from .supervisor import (
+    RESEED_STRIDE,
+    SweepCheckpoint,
+    TrialFailure,
+    TrialKey,
+    TrialSupervisor,
+)
 
 __all__ = ["CellResult", "AccuracyTable", "ExperimentRunner"]
 
-# Odd prime stride separating per-attempt reseeds from the base seed range,
-# so retry seeds never collide with another trial's base seed.
-_RESEED_STRIDE = 1_000_003
+_RESEED_STRIDE = RESEED_STRIDE  # backward-compatible alias
 
 CLEAN_ROW = "Clean"
 
@@ -109,11 +113,15 @@ class ExperimentRunner:
         dataset_seed: int = 0,
         supervisor: Optional[TrialSupervisor] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
+        executor=None,
     ) -> None:
         self.config = config or ExperimentScale.from_env()
         self.dataset_seed = int(dataset_seed)
         self.supervisor = supervisor
         self.checkpoint = checkpoint
+        # Trial executor for grid sweeps (see repro.experiments.parallel):
+        # None means a fresh SerialTrialExecutor per sweep (--jobs 1).
+        self.executor = executor
         self._graphs: dict[str, Graph] = {}
         self._poisons: dict[tuple[str, str, float, int, float], AttackResult] = {}
 
@@ -221,50 +229,71 @@ class ExperimentRunner:
 
         return run
 
-    def _supervised_cell(
-        self,
-        supervisor: TrialSupervisor,
-        graph: Graph,
-        dataset: str,
-        attacker_name: str,
-        defender_name: str,
-        rate: float,
-    ) -> Optional[CellResult]:
-        """One grid cell under supervision: ``None`` when any seed fails.
+    def _sweep_runtime(self, dataset: str, rate: float, supervisor: TrialSupervisor):
+        """The :class:`~repro.experiments.parallel.SweepRuntime` adapter
+        executors use to reach this runner's caches and checkpoint."""
+        from .parallel import SweepRuntime
 
-        Completed cells are journalled to the checkpoint; the first
-        permanent failure quarantines the defender, so its remaining rows
-        skip straight to ``n/a`` without re-recording failures.
-        """
-        if self.checkpoint is not None:
-            cached = self.checkpoint.cell_values(
-                dataset.lower(), attacker_name, rate, defender_name
+        def run_attack(key: TrialKey):
+            return supervisor.run(
+                key,
+                lambda attempt: self.attack(dataset, key.attacker, rate, attempt=attempt),
             )
-            if cached is not None:
-                return CellResult.from_values(cached)
 
-        values: list[float] = []
-        for seed in range(self.config.seeds):
-            key = TrialKey(
-                dataset=dataset.lower(),
-                attacker=attacker_name,
-                rate=rate,
-                defender=defender_name,
-                seed=seed,
-            )
-            already_quarantined = supervisor.quarantined(key) is not None
-            outcome = supervisor.run(key, self._defense_trial(key, graph, dataset))
-            if not outcome.ok:
-                if not already_quarantined and self.checkpoint is not None:
-                    self.checkpoint.record_failure(outcome.failure)
+        def run_defense(key: TrialKey, graph: Graph):
+            return supervisor.run(key, self._defense_trial(key, graph, dataset))
+
+        def poison_lookup(attacker_name: str) -> Optional[AttackResult]:
+            key = self._poison_key(dataset, attacker_name, rate)
+            if key not in self._poisons and self.checkpoint is not None:
+                cached = self.checkpoint.load_poison(
+                    dataset.lower(), attacker_name, rate, self.dataset_seed, self.config.scale
+                )
+                if cached is not None:
+                    self._poisons[key] = cached
+            return self._poisons.get(key)
+
+        def poison_path(attacker_name: str) -> Optional[str]:
+            if self.checkpoint is None:
                 return None
-            values.append(outcome.value)
-
-        if self.checkpoint is not None:
-            self.checkpoint.record_cell(
-                dataset.lower(), attacker_name, rate, defender_name, values
+            path = self.checkpoint.poison_path(
+                dataset.lower(), attacker_name, rate, self.dataset_seed, self.config.scale
             )
-        return CellResult.from_values(values)
+            return str(path) if path.exists() else None
+
+        def store_poison(attacker_name: str, result: AttackResult):
+            self._poisons[self._poison_key(dataset, attacker_name, rate)] = result
+            if self.checkpoint is not None:
+                return self.checkpoint.save_poison(
+                    dataset.lower(),
+                    attacker_name,
+                    rate,
+                    self.dataset_seed,
+                    self.config.scale,
+                    result,
+                )
+            return None
+
+        def record_cell(attacker_name: str, defender_name: str, values: list[float]):
+            if self.checkpoint is not None:
+                self.checkpoint.record_cell(
+                    dataset.lower(), attacker_name, rate, defender_name, values
+                )
+
+        return SweepRuntime(
+            dataset=dataset,
+            rate=rate,
+            scale=self.config.scale,
+            dataset_seed=self.dataset_seed,
+            policy=supervisor.policy,
+            clean_graph=lambda: self.graph(dataset),
+            run_attack=run_attack,
+            run_defense=run_defense,
+            poison_lookup=poison_lookup,
+            poison_path=poison_path,
+            store_poison=store_poison,
+            record_cell=record_cell,
+        )
 
     def accuracy_table(
         self,
@@ -276,55 +305,51 @@ class ExperimentRunner:
     ) -> AccuracyTable:
         """Regenerate a Table IV/V/VI-style grid for ``dataset``.
 
-        Every trial runs under the runner's :class:`TrialSupervisor` (a
-        default one is created when none was given); failed cells come back
-        as ``None`` with their :class:`TrialFailure` records on
-        ``table.failures``.  Interrupts (``KeyboardInterrupt`` or an
-        injected kill) propagate — with a checkpoint attached, a rerun with
-        ``resume=True`` picks up after the last completed cell.
+        The sweep is planned as a dependency DAG and handed to the runner's
+        trial executor (serial by default; a
+        :class:`~repro.experiments.parallel.ParallelTrialExecutor` fans
+        trials out to worker processes with bit-identical results — see
+        ``docs/parallel_sweeps.md``).  Every trial runs under the
+        :class:`TrialSupervisor` retry/deadline/quarantine policy; failed
+        cells come back as ``None`` with their :class:`TrialFailure`
+        records on ``table.failures`` and journalled to the checkpoint.
+        Interrupts (``KeyboardInterrupt`` or an injected kill) propagate —
+        with a checkpoint attached, a rerun with ``resume=True`` picks up
+        after the last completed cell.
         """
         from .config import ATTACKER_NAMES
+        from .parallel import SerialTrialExecutor, SweepPlan, assemble_table
 
         attackers = attackers if attackers is not None else list(ATTACKER_NAMES)
         defenders = defenders if defenders is not None else defender_names_for(dataset)
         rate = self.config.rate if rate is None else rate
         supervisor = self.supervisor or TrialSupervisor()
-        table = AccuracyTable(dataset=dataset, rate=rate)
 
         rows: list[str] = ([CLEAN_ROW] if include_clean else []) + list(attackers)
-        for attacker_name in rows:
-            graph = self._attack_row_graph(supervisor, dataset, attacker_name, rate)
-            if graph is None:
-                table.rows[attacker_name] = {name: None for name in defenders}
-                continue
-            table.rows[attacker_name] = {
-                name: self._supervised_cell(
-                    supervisor, graph, dataset, attacker_name, name, rate
-                )
-                for name in defenders
-            }
+        cached: dict[tuple[str, str], list[float]] = {}
+        if self.checkpoint is not None:
+            for row in rows:
+                for name in defenders:
+                    values = self.checkpoint.cell_values(dataset.lower(), row, rate, name)
+                    if values is not None:
+                        cached[(row, name)] = values
 
-        table.failures = list(supervisor.failures)
-        return table
-
-    def _attack_row_graph(
-        self,
-        supervisor: TrialSupervisor,
-        dataset: str,
-        attacker_name: str,
-        rate: float,
-    ) -> Optional[Graph]:
-        """The graph a row's defenders train on; ``None`` if the attack failed."""
-        if attacker_name == CLEAN_ROW:
-            return self.graph(dataset)
-        key = TrialKey(dataset=dataset.lower(), attacker=attacker_name, rate=rate)
-        already_quarantined = supervisor.quarantined(key) is not None
-        outcome = supervisor.run(
-            key,
-            lambda attempt: self.attack(dataset, attacker_name, rate, attempt=attempt),
+        plan = SweepPlan.build(
+            dataset=dataset,
+            rows=rows,
+            defenders=list(defenders),
+            rate=rate,
+            seeds=self.config.seeds,
+            completed=set(cached),
         )
-        if not outcome.ok:
-            if not already_quarantined and self.checkpoint is not None:
-                self.checkpoint.record_failure(outcome.failure)
-            return None
-        return outcome.value.poisoned
+        executor = self.executor or SerialTrialExecutor()
+        outcomes = executor.run(plan, self._sweep_runtime(dataset, rate, supervisor))
+        table = assemble_table(plan, outcomes, cached)
+        # Failures are journalled at merge time, in canonical order, in both
+        # execution modes; a kill loses at most failure records (cells are
+        # journalled the moment they complete), and the lost trials simply
+        # rerun on --resume.
+        if self.checkpoint is not None:
+            for failure in table.failures:
+                self.checkpoint.record_failure(failure)
+        return table

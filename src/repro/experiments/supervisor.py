@@ -39,6 +39,7 @@ from ..errors import ConfigError, DeadlineError, TrialError
 from ..io import load_attack_result, save_attack_result
 
 __all__ = [
+    "RESEED_STRIDE",
     "TrialKey",
     "TrialFailure",
     "TrialPolicy",
@@ -48,6 +49,12 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+# Odd prime stride separating per-attempt reseeds from the base seed range,
+# so retry seeds never collide with another trial's base seed.  Shared by
+# the serial runner and the pool workers so a retried trial reseeds
+# identically no matter which process runs it.
+RESEED_STRIDE = 1_000_003
 
 
 @dataclass(frozen=True)
@@ -321,6 +328,11 @@ class SweepCheckpoint:
         self.journal_path = self.directory / "journal.jsonl"
         self._cells: dict[tuple, list[float]] = {}
         self.failures: list[TrialFailure] = []
+        # Journal writes are serialized in the sweep's parent process: pool
+        # workers never hold a SweepCheckpoint, they return outcomes and the
+        # scheduler journals them here.  The lock guards against a future
+        # multi-threaded scheduler interleaving records mid-line.
+        self._write_lock = threading.Lock()
         if resume:
             self._load()
         else:
@@ -354,7 +366,7 @@ class SweepCheckpoint:
                 self.failures.append(TrialFailure.from_json(record))
 
     def _append(self, record: dict) -> None:
-        with open(self.journal_path, "a", encoding="utf-8") as handle:
+        with self._write_lock, open(self.journal_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record) + "\n")
             handle.flush()
 

@@ -8,17 +8,28 @@ that makes the surrogate's fidelity testable.
 
 from __future__ import annotations
 
-from typing import Union
+import hashlib
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..tensor import Tensor, functional as F, glorot_uniform, zeros
+from ..tensor.tensor import _needs_grad
 from ..utils.rng import SeedLike, ensure_rng
 from .gcn import AdjacencyLike, _propagate
 from .module import Module
 
 __all__ = ["SGC"]
+
+
+def _adjacency_fingerprint(adjacency: sp.csr_matrix) -> tuple:
+    """Cheap content hash of a CSR matrix (structure and values)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(adjacency.indptr.tobytes())
+    digest.update(adjacency.indices.tobytes())
+    digest.update(adjacency.data.tobytes())
+    return (adjacency.shape, adjacency.nnz, digest.digest())
 
 
 class SGC(Module):
@@ -27,6 +38,17 @@ class SGC(Module):
     The adjacency passed to :meth:`forward` must already be GCN-normalized;
     propagation applies it ``k_hops`` times (no nonlinearity), then a single
     weight matrix maps to class logits.
+
+    ``A_n^K X`` involves no parameters, so across a training run it is the
+    same ``k_hops`` sparse products recomputed every epoch.  The forward
+    pass memoizes the propagated features for the latest (adjacency,
+    features) pair — keyed cheaply by object identity, revalidated by a
+    content fingerprint of the adjacency, mirroring the surrogate's
+    :class:`~repro.surrogate.cache.PropagationCache` keying — and recomputes
+    silently whenever either changes.  The memo is bypassed when the
+    features tensor itself participates in autodiff (the cached result
+    carries no backward closure).  ``propagation_count`` counts actual
+    propagation passes so tests can assert reuse.
     """
 
     def __init__(
@@ -43,13 +65,35 @@ class SGC(Module):
         self.weight = glorot_uniform(in_dim, out_dim, rng)
         self.bias = zeros(out_dim)
         self.k_hops = int(k_hops)
+        self.propagation_count = 0
+        self._memo_key: Optional[tuple] = None
+        self._memo_fingerprint: Optional[tuple] = None
+        self._memo_value: Optional[Tensor] = None
+
+    def _propagated(self, adjacency: AdjacencyLike, h: Tensor) -> Tensor:
+        if not sp.issparse(adjacency) or _needs_grad(h):
+            return self._propagate_all(adjacency, h)
+        key = (id(adjacency), id(h.data), self.k_hops)
+        if self._memo_key == key and self._memo_fingerprint == _adjacency_fingerprint(
+            adjacency
+        ):
+            return self._memo_value
+        value = self._propagate_all(adjacency, h)
+        self._memo_key = key
+        self._memo_fingerprint = _adjacency_fingerprint(adjacency)
+        self._memo_value = value
+        return value
+
+    def _propagate_all(self, adjacency: AdjacencyLike, h: Tensor) -> Tensor:
+        self.propagation_count += 1
+        for _ in range(self.k_hops):
+            h = _propagate(adjacency, h)
+        return h
 
     def forward(self, adjacency: AdjacencyLike, features: Tensor) -> Tensor:
         """Return raw logits ``(n, out_dim)``."""
         h = features if isinstance(features, Tensor) else Tensor(features)
-        for _ in range(self.k_hops):
-            h = _propagate(adjacency, h)
-        return h.matmul(self.weight) + self.bias
+        return self._propagated(adjacency, h).matmul(self.weight) + self.bias
 
     def predict(self, adjacency: AdjacencyLike, features: Tensor) -> np.ndarray:
         """Hard label predictions (no dropout, so mode is irrelevant)."""

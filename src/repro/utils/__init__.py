@@ -1,6 +1,7 @@
-"""Shared utilities: seeding, timing, fault injection, validation."""
+"""Shared utilities: seeding, timing, fault injection, thread governance."""
 
-from . import faults
+from . import blas, faults
+from .blas import blas_thread_budget, cpu_count, limit_blas_threads, plan_worker_threads
 from .faults import FaultInjector, FaultSpec, InjectedFault, InjectedKill
 from .rng import ensure_rng, spawn_rngs
 from .timer import Timer
@@ -9,6 +10,11 @@ __all__ = [
     "ensure_rng",
     "spawn_rngs",
     "Timer",
+    "blas",
+    "blas_thread_budget",
+    "cpu_count",
+    "limit_blas_threads",
+    "plan_worker_threads",
     "faults",
     "FaultInjector",
     "FaultSpec",

@@ -1,0 +1,102 @@
+"""BLAS/OpenMP thread governance for parallel sweeps.
+
+Every trial of a sweep runs NumPy/SciPy kernels backed by a threaded BLAS
+(OpenBLAS, MKL, Accelerate, …).  When the experiment scheduler fans trials
+out to ``jobs`` worker processes, each worker's BLAS would still try to grab
+*every* core, so ``jobs × blas_threads`` threads fight over ``cores`` cores
+and the "parallel" sweep runs slower than the serial one.  This module
+computes and applies a per-worker thread budget so the product never
+oversubscribes the machine.
+
+The only portable lever without extra dependencies is the family of
+``*_NUM_THREADS`` environment variables, which BLAS implementations read
+when they initialize.  They are authoritative for ``spawn``-started workers
+(a fresh interpreter imports NumPy after the variables are set) and for any
+library loaded lazily after :func:`limit_blas_threads` runs.  A ``fork``
+-started worker inherits a BLAS that was already initialized in the parent,
+so for strict governance either export the variables before launching
+Python or select the ``spawn`` start method (see
+``docs/parallel_sweeps.md``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "BLAS_ENV_VARS",
+    "cpu_count",
+    "plan_worker_threads",
+    "limit_blas_threads",
+    "blas_thread_budget",
+]
+
+#: Thread-count knobs honoured by the common BLAS/OpenMP runtimes.
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def cpu_count() -> int:
+    """Usable core count (scheduler-affinity aware where supported)."""
+    try:
+        affinity = os.sched_getaffinity(0)  # type: ignore[attr-defined]
+    except AttributeError:  # macOS / Windows
+        return os.cpu_count() or 1
+    return max(1, len(affinity))
+
+
+def plan_worker_threads(jobs: int, total_cores: Optional[int] = None) -> int:
+    """BLAS threads each of ``jobs`` workers may use without oversubscribing.
+
+    The plan is the largest ``t`` with ``jobs × t ≤ cores`` (floored at 1, so
+    more jobs than cores degrades to single-threaded BLAS rather than
+    refusing to run).
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    total = cpu_count() if total_cores is None else int(total_cores)
+    if total < 1:
+        raise ConfigError(f"total_cores must be >= 1, got {total_cores}")
+    return max(1, total // jobs)
+
+
+def limit_blas_threads(threads: int) -> dict[str, Optional[str]]:
+    """Pin every BLAS/OpenMP runtime to ``threads`` via environment variables.
+
+    Returns the previous values (``None`` = unset) so callers can restore
+    them; :func:`blas_thread_budget` does that automatically.
+    """
+    if threads < 1:
+        raise ConfigError(f"threads must be >= 1, got {threads}")
+    previous: dict[str, Optional[str]] = {}
+    for var in BLAS_ENV_VARS:
+        previous[var] = os.environ.get(var)
+        os.environ[var] = str(int(threads))
+    return previous
+
+
+def _restore(previous: dict[str, Optional[str]]) -> None:
+    for var, value in previous.items():
+        if value is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = value
+
+
+@contextmanager
+def blas_thread_budget(threads: int) -> Iterator[int]:
+    """Context manager applying (then restoring) a BLAS thread budget."""
+    previous = limit_blas_threads(threads)
+    try:
+        yield threads
+    finally:
+        _restore(previous)

@@ -192,6 +192,21 @@ class FaultInjector:
             specs.append(FaultSpec(**kwargs))
         return specs
 
+    def seed_counters(self, counters: dict[str, int]) -> None:
+        """Preset per-site invocation counters (cross-process accounting).
+
+        A pool worker runs one trial of a sweep, not the whole sweep, so its
+        injector would start every site counter at zero and ``at=N`` rules
+        would match the wrong trial.  The parallel scheduler ships each task
+        its *canonical* per-site ordinal (the index the trial's first
+        invocation would have in a serial, single-attempt pass) and seeds
+        the worker's injector with it, so trial-index accounting survives
+        process boundaries.
+        """
+        with self._lock:
+            for site, index in counters.items():
+                self._counters[site] = int(index)
+
     # -- triggering -----------------------------------------------------
     def _next_index(self, site: str) -> int:
         with self._lock:

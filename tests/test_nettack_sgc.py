@@ -38,6 +38,37 @@ class TestSGC:
         with pytest.raises(ValueError):
             SGC(4, 2, k_hops=0)
 
+    def test_propagation_memoized_across_forwards(self, small_cora):
+        # A_n^K X has no parameters: repeated forwards on the same
+        # (adjacency, features) pair must propagate once, and the memo must
+        # not change the logits.
+        model = SGC(small_cora.num_features, small_cora.num_classes, k_hops=2, seed=0)
+        normalized = gcn_normalize(small_cora.adjacency)
+        features = Tensor(small_cora.features)
+        first = model.forward(normalized, features).data.copy()
+        second = model.forward(normalized, features).data
+        assert model.propagation_count == 1
+        np.testing.assert_array_equal(first, second)
+
+    def test_memo_invalidated_by_content_change(self, small_cora):
+        model = SGC(small_cora.num_features, small_cora.num_classes, k_hops=2, seed=0)
+        normalized = gcn_normalize(small_cora.adjacency)
+        features = Tensor(small_cora.features)
+        stale = model.forward(normalized, features).data.copy()
+        # Same object identity, different content: the fingerprint catches it.
+        normalized.data *= 0.5
+        fresh = model.forward(normalized, features).data
+        assert model.propagation_count == 2
+        assert not np.allclose(stale, fresh)
+
+    def test_memo_reused_during_training(self, small_cora):
+        # train_node_classifier reuses one adjacency and one features tensor,
+        # so a whole run costs a single propagation pass.
+        model = SGC(small_cora.num_features, small_cora.num_classes, seed=0)
+        result = train_node_classifier(model, small_cora, TrainConfig(epochs=20))
+        assert result.epochs_run >= 2
+        assert model.propagation_count == 1
+
 
 class TestNettack:
     def test_requires_target(self, small_cora):

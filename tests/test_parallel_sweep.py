@@ -1,0 +1,373 @@
+"""Parallel sweep execution: equivalence, resume, and fault accounting.
+
+The determinism contract (docs/parallel_sweeps.md): a sweep run with
+``--jobs N`` produces the *bit-identical* AccuracyTable, failure appendix,
+and (order-normalized) checkpoint journal as ``--jobs 1`` — completion
+order must never leak into the output.  These tests pin that contract
+down, including under injected faults, an injected mid-sweep kill with
+``--resume``, and fault-injection rules that must fire inside pool
+workers with the same trial-index accounting as a serial run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentScale,
+    ParallelTrialExecutor,
+    SerialTrialExecutor,
+    SweepCheckpoint,
+    SweepPlan,
+    SweepTimings,
+    TrialPolicy,
+    TrialSupervisor,
+    make_executor,
+)
+from repro.utils import faults
+from repro.utils.blas import (
+    BLAS_ENV_VARS,
+    blas_thread_budget,
+    limit_blas_threads,
+    plan_worker_threads,
+)
+from repro.utils.faults import FaultInjector, InjectedKill
+
+CONFIG = ExperimentScale(scale=0.04, seeds=2, rate=0.1)
+ATTACKERS = ["PEEGA"]
+DEFENDERS = ["GCN", "GCN-SVD"]
+JOBS = 2
+
+
+def run_sweep(jobs=1, checkpoint=None, fault_spec=None, deadline=None):
+    executor = make_executor(jobs)
+    runner = ExperimentRunner(
+        CONFIG,
+        supervisor=TrialSupervisor(TrialPolicy(max_attempts=2, deadline_seconds=deadline)),
+        checkpoint=checkpoint,
+        executor=executor,
+    )
+    injector = FaultInjector(FaultInjector.parse(fault_spec)) if fault_spec else None
+    with faults.active(injector):
+        table = runner.accuracy_table("cora", attackers=ATTACKERS, defenders=DEFENDERS)
+    return table, executor, injector
+
+
+def cells_of(table):
+    return {
+        (row, name): (cell.values if cell is not None else None)
+        for row, columns in table.rows.items()
+        for name, cell in columns.items()
+    }
+
+
+def failures_of(table):
+    """Failure appendix normalized to its deterministic fields."""
+    return [
+        (f.key.attacker, f.key.defender, f.key.seed, f.attempts, f.error_type)
+        for f in table.failures
+    ]
+
+
+def journal_records(checkpoint_dir):
+    """Journal contents normalized for order and volatile fields."""
+    cells, failures = [], []
+    path = checkpoint_dir / "journal.jsonl"
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        if record["kind"] == "cell":
+            cells.append(
+                (record["attacker"], record["defender"], tuple(record["values"]))
+            )
+        else:
+            failures.append(
+                (
+                    record["attacker"],
+                    record.get("defender"),
+                    record.get("seed"),
+                    record["attempts"],
+                    record["error_type"],
+                )
+            )
+    return sorted(cells), sorted(failures)
+
+
+# ---------------------------------------------------------------------------
+# Bit-equivalence
+
+
+class TestParallelSerialEquivalence:
+    def test_clean_sweep_bit_identical(self, tmp_path):
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        serial, _, _ = run_sweep(jobs=1, checkpoint=SweepCheckpoint(serial_dir))
+        parallel, executor, _ = run_sweep(jobs=JOBS, checkpoint=SweepCheckpoint(parallel_dir))
+
+        assert cells_of(serial) == cells_of(parallel)
+        assert serial.failures == parallel.failures == []
+        assert journal_records(serial_dir) == journal_records(parallel_dir)
+        # The sweep really went through the pool, and the instrumentation saw it.
+        assert executor.timings.jobs == JOBS
+        assert len(executor.timings.trials) == 1 + 2 * len(DEFENDERS) * CONFIG.seeds
+        assert executor.timings.makespan_seconds > 0
+
+    def test_permanent_defender_failure_identical(self, tmp_path):
+        spec = "defender:throw:defender=GCN-SVD"
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        serial, _, _ = run_sweep(
+            jobs=1, checkpoint=SweepCheckpoint(serial_dir), fault_spec=spec
+        )
+        parallel, _, _ = run_sweep(
+            jobs=JOBS, checkpoint=SweepCheckpoint(parallel_dir), fault_spec=spec
+        )
+
+        assert cells_of(serial) == cells_of(parallel)
+        # One canonical-first failure despite both rows hitting the defender.
+        assert len(parallel.failures) == 1
+        assert failures_of(serial) == failures_of(parallel)
+        assert parallel.num_failed_cells == serial.num_failed_cells == 2
+        assert journal_records(serial_dir) == journal_records(parallel_dir)
+
+    def test_attack_failure_identical(self):
+        spec = "attacker:throw"
+        serial, _, _ = run_sweep(jobs=1, fault_spec=spec)
+        parallel, _, _ = run_sweep(jobs=JOBS, fault_spec=spec)
+
+        assert cells_of(serial) == cells_of(parallel)
+        assert failures_of(serial) == failures_of(parallel)
+        # The whole PEEGA row is n/a; Clean is unaffected.
+        assert all(cell is None for cell in parallel.rows["PEEGA"].values())
+        assert all(cell is not None for cell in parallel.rows["Clean"].values())
+
+
+# ---------------------------------------------------------------------------
+# Kill → resume under parallel execution
+
+
+class TestParallelResume:
+    def test_kill_then_resume_matches_uninterrupted(self, tmp_path):
+        reference, _, _ = run_sweep(jobs=1)
+
+        workdir = tmp_path / "ckpt"
+        with pytest.raises(InjectedKill):
+            run_sweep(
+                jobs=JOBS,
+                checkpoint=SweepCheckpoint(workdir),
+                fault_spec="defender:kill:attacker=PEEGA:defender=GCN-SVD:seed=1",
+            )
+
+        # The attack completed before the kill, so its poison is on disk and
+        # must be reused (not regenerated) on resume.
+        poisons = list(workdir.glob("poison_*.npz"))
+        assert len(poisons) == 1
+        mtime = poisons[0].stat().st_mtime_ns
+
+        resumed, _, _ = run_sweep(
+            jobs=JOBS, checkpoint=SweepCheckpoint(workdir, resume=True)
+        )
+        assert cells_of(resumed) == cells_of(reference)
+        assert resumed.failures == []
+        assert poisons[0].stat().st_mtime_ns == mtime
+
+    def test_resume_serial_after_parallel_kill(self, tmp_path):
+        """Jobs is an execution knob, not part of the checkpoint format."""
+        reference, _, _ = run_sweep(jobs=1)
+        workdir = tmp_path / "ckpt"
+        with pytest.raises(InjectedKill):
+            run_sweep(
+                jobs=JOBS,
+                checkpoint=SweepCheckpoint(workdir),
+                fault_spec="defender:kill:attacker=PEEGA:defender=GCN:seed=0",
+            )
+        resumed, _, _ = run_sweep(jobs=1, checkpoint=SweepCheckpoint(workdir, resume=True))
+        assert cells_of(resumed) == cells_of(reference)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection inside pool workers
+
+
+class TestFaultsInWorkers:
+    def test_transient_fault_absorbed_in_worker(self):
+        """A times=1 throw retries inside the worker and the value survives.
+
+        The retried attempt reseeds (seed + RESEED_STRIDE) identically in
+        both modes, so the faulted sweep is still serial/parallel
+        bit-identical — just not identical to an unfaulted sweep.
+        """
+        spec = "defender:throw:times=1:attacker=Clean:defender=GCN:seed=0"
+        serial, _, _ = run_sweep(jobs=1, fault_spec=spec)
+        parallel, _, injector = run_sweep(jobs=JOBS, fault_spec=spec)
+
+        assert cells_of(parallel) == cells_of(serial)
+        assert serial.failures == [] and parallel.failures == []
+        # The worker's fault events were merged back into the parent injector.
+        assert len(injector.events) == 1
+        assert injector.events[0].site == "defender"
+        assert dict(injector.events[0].context)["attempt"] == "0"
+
+    def test_at_rule_fires_on_canonical_trial_index(self):
+        """at=N accounting survives the process boundary.
+
+        Canonical defender-site order for this grid: Clean/GCN seeds 0-1,
+        Clean/GCN-SVD seeds 0-1, PEEGA/GCN seeds 0-1, ...; at=3 is
+        Clean/GCN-SVD seed 1 in both execution modes.
+        """
+        spec = "defender:throw:at=3"
+        serial, _, serial_injector = run_sweep(jobs=1, fault_spec=spec)
+        parallel, _, parallel_injector = run_sweep(jobs=JOBS, fault_spec=spec)
+
+        # The hit trial's retry advances past at=3 and succeeds (with the
+        # reseeded attempt-1 value) — identically in both modes.
+        assert serial.failures == [] and parallel.failures == []
+        assert cells_of(serial) == cells_of(parallel)
+        serial_events = [
+            (e.site, e.index, dict(e.context)["defender"], dict(e.context)["seed"])
+            for e in serial_injector.events
+        ]
+        parallel_events = [
+            (e.site, e.index, dict(e.context)["defender"], dict(e.context)["seed"])
+            for e in parallel_injector.events
+        ]
+        assert serial_events == parallel_events == [("defender", 3, "GCN-SVD", "1")]
+
+    def test_hang_deadline_enforced_in_worker(self):
+        spec = "defender:hang:seconds=15:defender=GCN-SVD"
+        parallel, _, _ = run_sweep(jobs=JOBS, fault_spec=spec, deadline=0.5)
+        assert len(parallel.failures) == 1
+        assert parallel.failures[0].error_type == "DeadlineError"
+        assert parallel.rows["Clean"]["GCN"] is not None
+        assert parallel.rows["Clean"]["GCN-SVD"] is None
+
+
+# ---------------------------------------------------------------------------
+# Planning and scaffolding units
+
+
+class TestSweepPlan:
+    def test_canonical_order_and_dependencies(self):
+        plan = SweepPlan.build(
+            dataset="Cora",
+            rows=["Clean", "PEEGA"],
+            defenders=["GCN", "GCN-SVD"],
+            rate=0.1,
+            seeds=2,
+        )
+        labels = [(t.kind, t.key.attacker, t.key.defender, t.key.seed) for t in plan.tasks]
+        assert labels == [
+            ("defense", "Clean", "GCN", 0),
+            ("defense", "Clean", "GCN", 1),
+            ("defense", "Clean", "GCN-SVD", 0),
+            ("defense", "Clean", "GCN-SVD", 1),
+            ("attack", "PEEGA", None, None),
+            ("defense", "PEEGA", "GCN", 0),
+            ("defense", "PEEGA", "GCN", 1),
+            ("defense", "PEEGA", "GCN-SVD", 0),
+            ("defense", "PEEGA", "GCN-SVD", 1),
+        ]
+        attack = plan.attack_tasks["PEEGA"]
+        assert all(
+            t.depends_on == attack.index for t in plan.tasks if t.key.attacker == "PEEGA" and t.kind == "defense"
+        )
+        assert all(t.depends_on is None for t in plan.tasks if t.key.attacker == "Clean")
+        # Fault-site ordinals are canonical per-site indices.
+        assert [t.site_ordinal for t in plan.tasks if t.kind == "defense"] == list(range(8))
+        assert attack.site_ordinal == 0
+        assert plan.tasks[0].key.dataset == "cora"  # keys are lowercased
+
+    def test_completed_cells_pruned(self):
+        plan = SweepPlan.build(
+            dataset="cora",
+            rows=["Clean", "PEEGA"],
+            defenders=["GCN", "GCN-SVD"],
+            rate=0.1,
+            seeds=2,
+            completed={("PEEGA", "GCN"), ("PEEGA", "GCN-SVD")},
+        )
+        # Fully-cached row: no attack task, no defense tasks.
+        assert "PEEGA" not in plan.attack_tasks
+        assert all(t.key.attacker == "Clean" for t in plan.tasks)
+
+    def test_partially_completed_row_keeps_attack(self):
+        plan = SweepPlan.build(
+            dataset="cora",
+            rows=["PEEGA"],
+            defenders=["GCN", "GCN-SVD"],
+            rate=0.1,
+            seeds=2,
+            completed={("PEEGA", "GCN")},
+        )
+        assert "PEEGA" in plan.attack_tasks
+        assert [t.key.defender for t in plan.tasks if t.kind == "defense"] == [
+            "GCN-SVD",
+            "GCN-SVD",
+        ]
+
+
+class TestExecutorFactory:
+    def test_jobs_one_is_serial(self):
+        assert isinstance(make_executor(1), SerialTrialExecutor)
+
+    def test_jobs_many_is_parallel(self):
+        executor = make_executor(3, blas_threads=1)
+        assert isinstance(executor, ParallelTrialExecutor)
+        assert executor.jobs == 3
+        assert executor.blas_threads == 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            make_executor(0)
+        with pytest.raises(ConfigError):
+            ParallelTrialExecutor(1)
+
+
+class TestBlasGovernance:
+    def test_plan_divides_cores(self):
+        assert plan_worker_threads(4, total_cores=16) == 4
+        assert plan_worker_threads(3, total_cores=8) == 2
+        # More jobs than cores floors at single-threaded BLAS.
+        assert plan_worker_threads(8, total_cores=4) == 1
+
+    def test_plan_validates(self):
+        with pytest.raises(ConfigError):
+            plan_worker_threads(0)
+        with pytest.raises(ConfigError):
+            plan_worker_threads(2, total_cores=0)
+
+    def test_limit_sets_and_budget_restores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("OMP_NUM_THREADS", "7")
+        monkeypatch.delenv("MKL_NUM_THREADS", raising=False)
+        with blas_thread_budget(2):
+            for var in BLAS_ENV_VARS:
+                assert os.environ[var] == "2"
+        assert os.environ["OMP_NUM_THREADS"] == "7"
+        assert "MKL_NUM_THREADS" not in os.environ
+
+    def test_limit_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            limit_blas_threads(0)
+
+
+class TestSweepTimings:
+    def test_utilization_accounting(self):
+        timings = SweepTimings(jobs=2)
+        timings.start()
+        timings.record("a", "defense", wall_seconds=1.0, queue_seconds=0.5)
+        timings.record("b", "defense", wall_seconds=3.0)
+        timings.finish()
+        timings.makespan_seconds = 4.0
+        assert timings.busy_seconds == 4.0
+        assert timings.utilization == pytest.approx(0.5)
+        assert timings.mean_queue_seconds == pytest.approx(0.25)
+        summary = timings.summary()
+        assert "2 jobs" in summary and "utilization" in summary
+
+    def test_empty_sweep(self):
+        timings = SweepTimings(jobs=4)
+        assert timings.utilization == 0.0
+        assert timings.mean_queue_seconds == 0.0
