@@ -10,22 +10,43 @@ from __future__ import annotations
 
 import abc
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from ..errors import BudgetError
+from ..errors import BudgetError, BudgetWarning
 from ..graph import (
     EdgeFlip,
     FeatureFlip,
     Graph,
     feature_distance,
     structural_distance,
+    validate_graph,
 )
 from ..utils.rng import SeedLike, ensure_rng
 
-__all__ = ["AttackBudget", "AttackResult", "Attacker", "resolve_budget"]
+__all__ = [
+    "AttackBudget",
+    "AttackResult",
+    "Attacker",
+    "resolve_budget",
+    "feasible_budget_ceiling",
+]
+
+
+def feasible_budget_ceiling(graph: Graph, feature_cost: float = 1.0) -> float:
+    """The most budget an attack on ``graph`` could conceivably spend.
+
+    Every undirected edge slot can be toggled at most once
+    (``n(n-1)/2`` units) and every feature bit at most once
+    (``feature_cost · n · d`` units).  Budgets above this ceiling cannot be
+    spent and usually signal a mis-set perturbation rate.
+    """
+    n = graph.num_nodes
+    d = graph.features.shape[1] if graph.features.ndim == 2 else 0
+    return n * (n - 1) / 2.0 + float(feature_cost) * n * d
 
 
 @dataclass(frozen=True)
@@ -139,9 +160,30 @@ class Attacker(abc.ABC):
         graph: Graph,
         budget: Optional[AttackBudget] = None,
         perturbation_rate: Optional[float] = None,
+        validate: str = "strict",
     ) -> AttackResult:
-        """Attack ``graph`` under a budget, timing the run and verifying cost."""
+        """Attack ``graph`` under a budget, timing the run and verifying cost.
+
+        The input graph passes contract validation under ``validate``
+        (``strict``/``repair``/``off``) before the attack sees it, and a
+        budget exceeding the graph's feasible flip ceiling is clamped with
+        a :class:`~repro.errors.BudgetWarning` rather than sending the
+        attacker chasing spend it can never realize.
+        """
+        graph = validate_graph(
+            graph, policy=validate, context=f"{self.name} attack input"
+        )
         resolved = resolve_budget(graph, budget, perturbation_rate)
+        ceiling = feasible_budget_ceiling(graph, resolved.feature_cost)
+        if resolved.total > ceiling:
+            warnings.warn(
+                f"{self.name}: budget {resolved.total:g} exceeds the feasible "
+                f"flip ceiling {ceiling:g} for this graph "
+                f"({graph.num_nodes} nodes); clamping",
+                BudgetWarning,
+                stacklevel=2,
+            )
+            resolved = AttackBudget(total=ceiling, feature_cost=resolved.feature_cost)
         start = time.perf_counter()
         result = self._run(graph, resolved)
         result.runtime_seconds = time.perf_counter() - start

@@ -36,9 +36,22 @@ from .experiments import (
     make_attacker,
     make_defender,
 )
+from .graph import VALIDATION_POLICIES
 from .io import load_attack_result, load_graph, save_attack_result, save_graph
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_validate_flag(parser: argparse.ArgumentParser, default: str = "strict") -> None:
+    parser.add_argument(
+        "--validate",
+        choices=VALIDATION_POLICIES,
+        default=default,
+        help="graph contract validation policy: strict rejects degenerate "
+        "graphs, repair fixes what it can (symmetrize, binarize, drop "
+        f"self-loops...) with a warning per fix, off trusts the input "
+        f"(default {default})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dataset.add_argument("--scale", type=float, default=0.15)
     p_dataset.add_argument("--seed", type=int, default=0)
     p_dataset.add_argument("--out", required=True, help="output .npz path")
+    _add_validate_flag(p_dataset)
 
     p_attack = sub.add_parser("attack", help="poison a graph")
     p_attack.add_argument("attacker", choices=ATTACKER_NAMES)
@@ -63,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--rate", type=float, default=0.1)
     p_attack.add_argument("--seed", type=int, default=0)
     p_attack.add_argument("--out", required=True, help="output .npz attack archive")
+    _add_validate_flag(p_attack)
 
     p_defend = sub.add_parser("defend", help="train a defender and report accuracy")
     p_defend.add_argument("defender", choices=DEFENDER_NAMES)
@@ -71,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_defend.add_argument("--dataset", default="cora", choices=dataset_names(),
                           help="dataset name for the preset hyper-parameters")
     p_defend.add_argument("--seeds", type=int, default=3)
+    _add_validate_flag(p_defend, default="repair")
 
     p_table = sub.add_parser("table", help="regenerate a Table IV/V/VI-style grid")
     p_table.add_argument("dataset", choices=dataset_names())
@@ -121,28 +137,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-trial wall-clock deadline in seconds (default: none)",
     )
+    _add_validate_flag(p_table)
 
     p_analyze = sub.add_parser("analyze", help="attack-pattern analysis (Fig 1/2)")
     p_analyze.add_argument("--attack", required=True, help=".npz attack archive")
 
     p_info = sub.add_parser("info", help="print graph statistics")
     p_info.add_argument("--graph", required=True)
+    _add_validate_flag(p_info)
 
     return parser
 
 
 def _load_input_graph(args: argparse.Namespace):
+    validate = getattr(args, "validate", "strict")
     if args.graph and args.dataset and args.command == "attack":
         raise SystemExit("give either --graph or --dataset, not both")
     if args.graph:
-        return load_graph(args.graph)
+        return load_graph(args.graph, validate=validate)
     if getattr(args, "dataset", None):
-        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        return load_dataset(
+            args.dataset, scale=args.scale, seed=args.seed, validate=validate
+        )
     raise SystemExit("one of --graph / --dataset is required")
 
 
 def _cmd_dataset(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    graph = load_dataset(
+        args.name, scale=args.scale, seed=args.seed, validate=args.validate
+    )
     save_graph(graph, args.out)
     print(graph.summary())
     print(f"saved to {args.out}")
@@ -152,7 +175,9 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 def _cmd_attack(args: argparse.Namespace) -> int:
     graph = _load_input_graph(args)
     attacker = make_attacker(args.attacker, graph.name, seed=args.seed)
-    result = attacker.attack(graph, perturbation_rate=args.rate)
+    result = attacker.attack(
+        graph, perturbation_rate=args.rate, validate=args.validate
+    )
     save_attack_result(result, args.out)
     print(
         f"{attacker.name}: {len(result.edge_flips)} edge flips, "
@@ -167,12 +192,14 @@ def _cmd_defend(args: argparse.Namespace) -> int:
     if bool(args.graph) == bool(args.attack):
         raise SystemExit("give exactly one of --graph / --attack")
     if args.graph:
-        graph = load_graph(args.graph)
+        graph = load_graph(args.graph, validate=args.validate)
     else:
         graph = load_attack_result(args.attack).poisoned
     dataset = graph.name if graph.name in dataset_names() else args.dataset
     accuracies = [
-        make_defender(args.defender, dataset, seed=seed).fit(graph).test_accuracy
+        make_defender(args.defender, dataset, seed=seed)
+        .fit(graph, validate=args.validate)
+        .test_accuracy
         for seed in range(args.seeds)
     ]
     print(
@@ -205,7 +232,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
     )
     executor = make_executor(args.jobs, blas_threads=args.blas_threads)
     runner = ExperimentRunner(
-        config, supervisor=supervisor, checkpoint=checkpoint, executor=executor
+        config,
+        supervisor=supervisor,
+        checkpoint=checkpoint,
+        executor=executor,
+        validate=args.validate,
     )
     # REPRO_FAULTS lets operators chaos-test a real sweep end to end.
     with faults.active(faults.FaultInjector.from_env()):
@@ -251,7 +282,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph)
+    graph = load_graph(args.graph, validate=args.validate)
     print(graph.summary())
     if graph.labels is not None:
         print(f"homophily: {edge_homophily(graph):.4f}")

@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from ..defenses.base import Defender
+from ..defenses.base import Defender, validate_pruned_graph
 from ..defenses.simpgcn import knn_graph
 from ..errors import ConfigError
 from ..graph import Graph, add_self_loops, gcn_normalize
@@ -171,6 +171,7 @@ class GNAT(Defender):
                 adjacency[v, u] = 0.0
                 removed += 1
         pruned = graph.with_adjacency(adjacency.tocsr())
+        pruned = validate_pruned_graph(pruned, self.name)
         self._last_pruned_edges = removed
         return pruned
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import DatasetError
-from ..graph import Graph
+from ..graph import Graph, validate_graph
 from ..utils.rng import SeedLike, ensure_rng
 from .splits import stratified_split
 from .synthetic import SyntheticSpec, generate_graph
@@ -126,6 +126,7 @@ def load_dataset(
     seed: SeedLike = 0,
     train_frac: float = 0.1,
     val_frac: float = 0.1,
+    validate: str = "strict",
 ) -> Graph:
     """Generate the named dataset with stratified 10/10/80 splits attached.
 
@@ -138,6 +139,10 @@ def load_dataset(
         Table III statistics.
     seed:
         Controls both graph generation and split sampling.
+    validate:
+        Graph contract validation policy applied to the generated graph
+        (``strict``/``repair``/``off`` — see
+        :func:`repro.graph.validate_graph`).
     """
     key = name.lower()
     if key not in DATASETS:
@@ -145,4 +150,5 @@ def load_dataset(
     rng = ensure_rng(seed)
     spec = DATASETS[key].scaled(scale)
     graph = generate_graph(spec, seed=rng, name=key)
-    return stratified_split(graph, train_frac=train_frac, val_frac=val_frac, seed=rng)
+    graph = stratified_split(graph, train_frac=train_frac, val_frac=val_frac, seed=rng)
+    return validate_graph(graph, policy=validate, context=f"dataset {key}")

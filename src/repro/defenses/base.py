@@ -15,10 +15,23 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigError
-from ..graph import Graph
+from ..graph import Graph, validate_graph
 from ..utils.rng import SeedLike, ensure_rng
 
-__all__ = ["Defender", "DefenseResult"]
+__all__ = ["Defender", "DefenseResult", "validate_pruned_graph"]
+
+
+def validate_pruned_graph(graph: Graph, defender_name: str, policy: str = "repair") -> Graph:
+    """Contract-check a graph a pruning defense produced.
+
+    Pruning defenses (Jaccard, GNAT) rebuild the adjacency; a bug there —
+    an asymmetric prune, a surviving self-loop — would silently skew every
+    accuracy they report.  The default ``repair`` policy fixes and warns
+    instead of aborting a sweep over an internal artifact.
+    """
+    return validate_graph(
+        graph, policy=policy, context=f"{defender_name} pruned graph"
+    )
 
 
 @dataclass
@@ -51,10 +64,17 @@ class Defender(abc.ABC):
     def _fit(self, graph: Graph) -> tuple[float, float, dict]:
         """Train on ``graph``; return (test_accuracy, val_accuracy, details)."""
 
-    def fit(self, graph: Graph) -> DefenseResult:
-        """Train the defense on ``graph`` and evaluate on its test mask."""
+    def fit(self, graph: Graph, validate: str = "strict") -> DefenseResult:
+        """Train the defense on ``graph`` and evaluate on its test mask.
+
+        The input passes contract validation under ``validate``
+        (``strict``/``repair``/``off``) before training.
+        """
         if graph.labels is None or graph.train_mask is None or graph.val_mask is None:
             raise ConfigError("defenders require labels and train/val masks")
+        graph = validate_graph(
+            graph, policy=validate, context=f"{self.name} defense input"
+        )
         start = time.perf_counter()
         test_acc, val_acc, details = self._fit(graph)
         elapsed = time.perf_counter() - start

@@ -17,7 +17,7 @@ from ..errors import ConfigError
 from ..graph import Graph
 from ..nn import GCN, TrainConfig, train_node_classifier
 from ..utils.rng import SeedLike
-from .base import Defender
+from .base import Defender, validate_pruned_graph
 
 __all__ = ["GCNJaccard", "jaccard_similarity", "drop_dissimilar_edges"]
 
@@ -32,7 +32,10 @@ def jaccard_similarity(a: np.ndarray, b: np.ndarray) -> float:
 def drop_dissimilar_edges(graph: Graph, threshold: float) -> tuple[Graph, int]:
     """Remove edges with endpoint Jaccard similarity below ``threshold``.
 
-    Returns the cleaned graph and the number of removed edges.
+    Returns the cleaned graph and the number of removed edges.  The pruned
+    graph passes repair-policy contract validation on the way out — an
+    asymmetric prune or surviving self-loop is fixed and warned about, not
+    silently trained on.
     """
     edges = graph.edge_list()
     features = graph.features
@@ -44,6 +47,7 @@ def drop_dissimilar_edges(graph: Graph, threshold: float) -> tuple[Graph, int]:
             adjacency[v, u] = 0.0
             removed += 1
     cleaned = graph.with_adjacency(adjacency.tocsr())
+    cleaned = validate_pruned_graph(cleaned, "GCN-Jaccard")
     return cleaned, removed
 
 

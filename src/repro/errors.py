@@ -12,12 +12,43 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class ReproWarning(UserWarning):
+    """Base class for all warnings emitted by the repro library."""
+
+
+class IntegrityWarning(ReproWarning):
+    """Data-integrity event: legacy unverified archive, quarantined artifact,
+    or corrupt journal record skipped during resume."""
+
+
+class ContractWarning(ReproWarning):
+    """A graph contract violation was repaired under the ``repair`` policy."""
+
+
+class BudgetWarning(ReproWarning):
+    """An attack budget was clamped to the number of feasible flips."""
+
+
 class ShapeError(ReproError, ValueError):
     """An array or tensor had an incompatible shape."""
 
 
 class GraphError(ReproError, ValueError):
     """A graph object violated a structural invariant."""
+
+
+class GraphContractError(GraphError):
+    """A graph violated one of the paper's data contracts under ``strict``
+    validation (see :mod:`repro.graph.validate`).
+
+    Carries the individual
+    :class:`~repro.graph.validate.ContractViolation` records in
+    ``violations``.
+    """
+
+    def __init__(self, message: str, *, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
 
 
 class BudgetError(ReproError, ValueError):

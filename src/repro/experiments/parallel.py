@@ -222,6 +222,7 @@ class SweepRuntime:
     poison_path: Callable[[str], Optional[str]]
     store_poison: Callable[[str, AttackResult], Optional[str]]
     record_cell: Callable[[str, str, list[float]], None]
+    validate: str = "strict"
 
 
 class _CellTracker:
@@ -334,10 +335,11 @@ def _worker_init(blas_threads: Optional[int]) -> None:
 def _worker_graph(ref: tuple) -> Graph:
     """Resolve a graph reference shipped with a task payload.
 
-    ``("dataset", name, scale, seed)`` regenerates the clean graph (pure
-    function of its key), ``("npz", path)`` loads a persisted poison
-    archive, ``("inline", graph)`` carries the graph in the payload (no
-    checkpoint attached, so there is no file to point at).
+    ``("dataset", name, scale, seed, validate)`` regenerates the clean
+    graph (pure function of its key — the validation policy is part of the
+    key because ``repair`` can change the graph), ``("npz", path)`` loads a
+    persisted poison archive, ``("inline", graph)`` carries the graph in
+    the payload (no checkpoint attached, so there is no file to point at).
     """
     kind = ref[0]
     if kind == "inline":
@@ -346,8 +348,10 @@ def _worker_graph(ref: tuple) -> Graph:
         if kind == "dataset":
             from ..datasets import load_dataset
 
-            _, name, scale, seed = ref
-            _WORKER_GRAPHS[ref] = load_dataset(name, scale=scale, seed=seed)
+            _, name, scale, seed, validate = ref
+            _WORKER_GRAPHS[ref] = load_dataset(
+                name, scale=scale, seed=seed, validate=validate
+            )
         elif kind == "npz":
             from ..io import load_attack_result
 
@@ -367,6 +371,7 @@ class _TaskPayload:
     graph_ref: tuple
     fault_specs: tuple[faults.FaultSpec, ...]
     site_ordinal: int
+    validate: str = "strict"
 
 
 @dataclass(frozen=True)
@@ -417,7 +422,9 @@ def _execute_trial(payload: _TaskPayload) -> _WorkerResult:
                 attempt=attempt,
             )
             attacker = make_attacker(key.attacker, key.dataset, seed=attempt * RESEED_STRIDE)
-            return attacker.attack(graph, perturbation_rate=key.rate)
+            return attacker.attack(
+                graph, perturbation_rate=key.rate, validate=payload.validate
+            )
 
     else:
 
@@ -431,7 +438,11 @@ def _execute_trial(payload: _TaskPayload) -> _WorkerResult:
                 attempt=attempt,
             )
             seed = key.seed + attempt * RESEED_STRIDE
-            return make_defender(key.defender, key.dataset, seed=seed).fit(graph).test_accuracy
+            return (
+                make_defender(key.defender, key.dataset, seed=seed)
+                .fit(graph, validate=payload.validate)
+                .test_accuracy
+            )
 
     with faults.active(injector):
         outcome = supervisor.run(key, trial)
@@ -508,6 +519,7 @@ class ParallelTrialExecutor:
                 runtime.dataset.lower(),
                 runtime.scale,
                 runtime.dataset_seed,
+                runtime.validate,
             )
         }
         ambient = faults.current()
@@ -562,6 +574,7 @@ class ParallelTrialExecutor:
                 graph_ref=graph_ref,
                 fault_specs=fault_specs,
                 site_ordinal=task.site_ordinal,
+                validate=runtime.validate,
             )
             submit_times[task.index] = time.monotonic()
             inflight[pool.submit(_execute_trial, payload)] = task

@@ -114,6 +114,7 @@ class ExperimentRunner:
         supervisor: Optional[TrialSupervisor] = None,
         checkpoint: Optional[SweepCheckpoint] = None,
         executor=None,
+        validate: str = "strict",
     ) -> None:
         self.config = config or ExperimentScale.from_env()
         self.dataset_seed = int(dataset_seed)
@@ -122,6 +123,9 @@ class ExperimentRunner:
         # Trial executor for grid sweeps (see repro.experiments.parallel):
         # None means a fresh SerialTrialExecutor per sweep (--jobs 1).
         self.executor = executor
+        # Graph contract validation policy, threaded through dataset loads,
+        # attack entry points, and defender fits (see repro.graph.validate).
+        self.validate = validate
         self._graphs: dict[str, Graph] = {}
         self._poisons: dict[tuple[str, str, float, int, float], AttackResult] = {}
 
@@ -131,7 +135,10 @@ class ExperimentRunner:
         key = dataset.lower()
         if key not in self._graphs:
             self._graphs[key] = load_dataset(
-                key, scale=self.config.scale, seed=self.dataset_seed
+                key,
+                scale=self.config.scale,
+                seed=self.dataset_seed,
+                validate=self.validate,
             )
         return self._graphs[key]
 
@@ -176,7 +183,9 @@ class ExperimentRunner:
             attacker = attacker or make_attacker(
                 attacker_name, dataset, seed=attempt * _RESEED_STRIDE
             )
-            result = attacker.attack(self.graph(dataset), perturbation_rate=rate)
+            result = attacker.attack(
+                self.graph(dataset), perturbation_rate=rate, validate=self.validate
+            )
             self._poisons[key] = result
             if self.checkpoint is not None:
                 self.checkpoint.save_poison(
@@ -202,7 +211,8 @@ class ExperimentRunner:
             lambda seed: make_defender(defender_name, dataset, seed=seed)
         )
         values = [
-            factory(seed).fit(graph).test_accuracy for seed in range(self.config.seeds)
+            factory(seed).fit(graph, validate=self.validate).test_accuracy
+            for seed in range(self.config.seeds)
         ]
         return CellResult.from_values(values)
 
@@ -225,7 +235,11 @@ class ExperimentRunner:
                 attempt=attempt,
             )
             seed = key.seed + attempt * _RESEED_STRIDE
-            return make_defender(key.defender, dataset, seed=seed).fit(graph).test_accuracy
+            return (
+                make_defender(key.defender, dataset, seed=seed)
+                .fit(graph, validate=self.validate)
+                .test_accuracy
+            )
 
         return run
 
@@ -286,6 +300,7 @@ class ExperimentRunner:
             scale=self.config.scale,
             dataset_seed=self.dataset_seed,
             policy=supervisor.policy,
+            validate=self.validate,
             clean_graph=lambda: self.graph(dataset),
             run_attack=run_attack,
             run_defense=run_defense,

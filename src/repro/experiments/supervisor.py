@@ -27,16 +27,24 @@ abort must stop the sweep, not become a failure record.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional, Union
 
 from ..attacks.base import AttackResult
-from ..errors import ConfigError, DeadlineError, TrialError
-from ..io import load_attack_result, save_attack_result
+from ..errors import ConfigError, DeadlineError, GraphError, IntegrityWarning, TrialError
+from ..io import (
+    SerializationError,
+    journal_record_digest,
+    load_attack_result,
+    save_attack_result,
+)
+from ..utils import faults
 
 __all__ = [
     "RESEED_STRIDE",
@@ -320,6 +328,14 @@ class SweepCheckpoint:
     post-mortems).  Every record is written and flushed before the sweep
     moves on, so the journal is valid after a kill at any point; a
     truncated trailing line (kill mid-write) is ignored on load.
+
+    Integrity: every record carries a ``sha256`` digest of its canonical
+    JSON form (:func:`repro.io.journal_record_digest`).  A corrupt
+    *interior* record — bad digest or unparsable JSON before the final
+    line — is skipped with an :class:`~repro.errors.IntegrityWarning` and
+    listed in :attr:`corrupt_records`; its cell simply re-runs on resume.
+    Corrupt poison archives are quarantined (renamed ``*.corrupt``, listed
+    in :attr:`quarantines`) and regenerated instead of crashing the sweep.
     """
 
     def __init__(self, directory: PathLike, resume: bool = False) -> None:
@@ -328,6 +344,8 @@ class SweepCheckpoint:
         self.journal_path = self.directory / "journal.jsonl"
         self._cells: dict[tuple, list[float]] = {}
         self.failures: list[TrialFailure] = []
+        self.corrupt_records: list[dict] = []
+        self.quarantines: list[Path] = []
         # Journal writes are serialized in the sweep's parent process: pool
         # workers never hold a SweepCheckpoint, they return outcomes and the
         # scheduler journals them here.  The lock guards against a future
@@ -343,17 +361,43 @@ class SweepCheckpoint:
     def _cell_key(dataset: str, attacker: str, rate: float, defender: str) -> tuple:
         return (dataset, attacker, float(rate), defender)
 
+    def _skip_corrupt(self, line_number: int, reason: str) -> None:
+        """Note a corrupt interior journal record; its cell re-runs."""
+        self.corrupt_records.append({"line": line_number, "reason": reason})
+        warnings.warn(
+            f"{self.journal_path}: skipping corrupt journal record at line "
+            f"{line_number} ({reason}); its cell will re-run",
+            IntegrityWarning,
+            stacklevel=3,
+        )
+
     def _load(self) -> None:
         if not self.journal_path.exists():
             return
-        for line in self.journal_path.read_text().splitlines():
-            line = line.strip()
+        # Bytes, not text: injected/real corruption may not be valid UTF-8,
+        # and one mangled record must not prevent reading the rest.
+        lines = self.journal_path.read_bytes().splitlines()
+        legacy_records = 0
+        for number, raw in enumerate(lines, start=1):
+            line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn trailing write from a hard kill
+                if number == len(lines):
+                    continue  # torn trailing write from a hard kill
+                self._skip_corrupt(number, "unparsable JSON")
+                continue
+            if not isinstance(record, dict):
+                self._skip_corrupt(number, "record is not a JSON object")
+                continue
+            if "sha256" in record:
+                if journal_record_digest(record) != record["sha256"]:
+                    self._skip_corrupt(number, "SHA-256 digest mismatch")
+                    continue
+            else:
+                legacy_records += 1
             if record.get("kind") == "cell":
                 key = self._cell_key(
                     record["dataset"],
@@ -364,11 +408,28 @@ class SweepCheckpoint:
                 self._cells[key] = [float(v) for v in record["values"]]
             elif record.get("kind") == "failure":
                 self.failures.append(TrialFailure.from_json(record))
+        if legacy_records:
+            warnings.warn(
+                f"{self.journal_path}: accepted {legacy_records} unverified "
+                "legacy journal records (no digests)",
+                IntegrityWarning,
+                stacklevel=3,
+            )
 
     def _append(self, record: dict) -> None:
+        record = dict(record)
+        record["sha256"] = journal_record_digest(record)
         with self._write_lock, open(self.journal_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record) + "\n")
             handle.flush()
+        if faults.damage(
+            "journal",
+            kind=record.get("kind"),
+            dataset=record.get("dataset"),
+            attacker=record.get("attacker"),
+            defender=record.get("defender"),
+        ):
+            _corrupt_last_journal_line(self.journal_path)
 
     def cell_values(
         self, dataset: str, attacker: str, rate: float, defender: str
@@ -423,11 +484,34 @@ class SweepCheckpoint:
         dataset_seed: int,
         scale: float,
     ) -> Optional[AttackResult]:
-        """The persisted attack result for this row, or ``None``."""
+        """The persisted attack result for this row, or ``None``.
+
+        A corrupt archive (failed digest, unreadable payload, or a graph
+        that no longer satisfies its contracts) is quarantined — renamed to
+        ``*.corrupt`` and listed in :attr:`quarantines` — and ``None`` is
+        returned, so the caller regenerates the poison instead of crashing.
+        """
         path = self.poison_path(dataset, attacker, rate, dataset_seed, scale)
         if not path.exists():
             return None
-        return load_attack_result(path)
+        try:
+            return load_attack_result(path)
+        except (SerializationError, GraphError) as error:
+            self.quarantine(path, str(error))
+            return None
+
+    def quarantine(self, path: Path, reason: str) -> Path:
+        """Rename a corrupt artifact to ``*.corrupt`` and record it."""
+        target = path.with_name(path.name + ".corrupt")
+        os.replace(path, target)
+        self.quarantines.append(target)
+        warnings.warn(
+            f"quarantined corrupt artifact {path.name} -> {target.name} "
+            f"({reason}); it will be regenerated",
+            IntegrityWarning,
+            stacklevel=3,
+        )
+        return target
 
     def save_poison(
         self,
@@ -440,4 +524,36 @@ class SweepCheckpoint:
     ) -> Path:
         path = self.poison_path(dataset, attacker, rate, dataset_seed, scale)
         save_attack_result(result, path)
+        if faults.damage(
+            "poison_archive", dataset=dataset, attacker=attacker, rate=rate
+        ):
+            _corrupt_file_byte(path)
         return path
+
+
+def _corrupt_file_byte(path: Path) -> None:
+    """Flip one mid-file byte in place (fault injection only)."""
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.seek(size // 2)
+        byte = handle.read(1)
+        handle.seek(size // 2)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _corrupt_last_journal_line(path: Path) -> None:
+    """Damage the digest of the journal's last record (fault injection only).
+
+    The replacement byte is ASCII (``X``/``Y``) so the line stays decodable
+    text — the point is a digest mismatch, not an undecodable stream (the
+    loader tolerates both, but tests assert on the digest path).
+    """
+    raw = path.read_bytes()
+    stripped = raw.rstrip(b"\n")
+    if not stripped:
+        return
+    cut = stripped.rfind(b"\n") + 1  # start of last record (0 if only one)
+    line = bytearray(stripped[cut:])
+    middle = len(line) // 2
+    line[middle] = ord("Y") if line[middle] == ord("X") else ord("X")
+    path.write_bytes(stripped[:cut] + bytes(line) + b"\n")

@@ -25,6 +25,13 @@ from .properties import (
     isolated_nodes,
     largest_connected_component,
 )
+from .validate import (
+    VALIDATION_POLICIES,
+    ContractViolation,
+    check_graph,
+    repair_graph,
+    validate_graph,
+)
 
 __all__ = [
     "Graph",
@@ -46,4 +53,9 @@ __all__ = [
     "degree_histogram",
     "largest_connected_component",
     "isolated_nodes",
+    "VALIDATION_POLICIES",
+    "ContractViolation",
+    "check_graph",
+    "repair_graph",
+    "validate_graph",
 ]

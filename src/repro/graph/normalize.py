@@ -38,9 +38,17 @@ NORMALIZE_EPS = 1e-12
 def inv_sqrt_degrees(degrees: np.ndarray) -> np.ndarray:
     """``(degrees + eps)^{-1/2}`` — the scaling vector of ``D^{-1/2}(A+I)D^{-1/2}``.
 
-    ``degrees`` must already include the self-loop contribution.
+    ``degrees`` must already include the self-loop contribution.  Non-positive
+    degrees map to a scaling of exactly 0 (the zero-row convention for
+    isolated nodes), never to the ``eps^{-1/2} ≈ 1e6`` blow-up the bare guard
+    would produce — pruning defenses that isolate nodes must degrade
+    gracefully, not inject huge scalings into downstream propagation.
     """
-    return (np.asarray(degrees, dtype=np.float64) + NORMALIZE_EPS) ** -0.5
+    degrees = np.asarray(degrees, dtype=np.float64)
+    out = np.zeros_like(degrees)
+    positive = degrees > 0
+    out[positive] = (degrees[positive] + NORMALIZE_EPS) ** -0.5
+    return out
 
 
 def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
@@ -53,16 +61,16 @@ def gcn_normalize(adjacency: sp.spmatrix, add_loops: bool = True) -> sp.csr_matr
     """Symmetric GCN normalization of a sparse adjacency matrix.
 
     Isolated nodes (zero degree even after self-loops are disabled) receive a
-    zero row rather than NaNs.
+    zero row rather than NaNs.  The scaling vector uses the same
+    eps-guarded :func:`inv_sqrt_degrees` as the dense differentiable path
+    and :class:`repro.surrogate.PropagationCache`, so all three produce
+    bit-identical normalized matrices on binary adjacencies.
     """
     matrix = adjacency.tocsr().astype(np.float64)
     if add_loops:
         matrix = add_self_loops(matrix)
     degrees = np.asarray(matrix.sum(axis=1)).ravel()
-    inv_sqrt = np.zeros_like(degrees)
-    positive = degrees > 0
-    inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
-    scaling = sp.diags(inv_sqrt)
+    scaling = sp.diags(inv_sqrt_degrees(degrees))
     return (scaling @ matrix @ scaling).tocsr()
 
 
@@ -79,6 +87,12 @@ def gcn_normalize_dense(adjacency: Union[Tensor, np.ndarray], add_loops: bool = 
         adj = adj + Tensor(np.eye(n))
     degrees = adj.sum(axis=1)
     inv_sqrt = (degrees + NORMALIZE_EPS) ** -0.5
+    # Zero-row convention for isolated nodes (matching inv_sqrt_degrees):
+    # the mask is a constant gate, so no gradient flows through a row the
+    # sparse path would zero out entirely.
+    zero_mask = np.asarray(degrees.data) > 0
+    if not zero_mask.all():
+        inv_sqrt = inv_sqrt * Tensor(zero_mask.astype(np.float64))
     # Row scaling then column scaling via broadcasting.
     row = inv_sqrt.reshape(n, 1)
     col = inv_sqrt.reshape(1, n)

@@ -1,0 +1,310 @@
+"""Graph contract validation: check, repair, or reject degenerate graphs.
+
+The paper's pipeline leans on implicit data contracts — a symmetric binary
+adjacency with a zero diagonal, finite features, labels inside the class
+range, disjoint masks, a well-formed CSR — and violations flow silently into
+training and attacks when the data boundary is unguarded (a bit-flipped
+cache, a pruning defense that strips every edge of a node, a hand-built
+graph).  This module makes the contracts explicit:
+
+:func:`check_graph`
+    Runs every contract check and returns structured
+    :class:`ContractViolation` records (empty list = clean).
+
+:func:`repair_graph`
+    Applies the canonical repair for each repairable violation —
+    symmetrize, clip weights to binary, drop self-loops, zero non-finite
+    feature rows, re-disjoint masks — each one reported.
+
+:func:`validate_graph`
+    The policy wrapper the rest of the library calls: ``strict`` raises
+    :class:`~repro.errors.GraphContractError`, ``repair`` fixes what it can
+    (warning per repair) and raises only on unrepairable violations,
+    ``off`` trusts the input.
+
+Isolated nodes are *not* violations: pruning defenses (SVD / Jaccard /
+GNAT) produce them legitimately, and normalization gives them a zero row
+(see :func:`repro.graph.inv_sqrt_degrees`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ContractWarning, GraphContractError
+from .graph import Graph
+
+__all__ = [
+    "VALIDATION_POLICIES",
+    "ContractViolation",
+    "check_graph",
+    "repair_graph",
+    "validate_graph",
+]
+
+VALIDATION_POLICIES = ("strict", "repair", "off")
+
+_MASK_NAMES = ("train_mask", "val_mask", "test_mask")
+
+
+@dataclass(frozen=True)
+class ContractViolation:
+    """One violated graph contract.
+
+    ``check`` names the contract (``symmetry``, ``binary_weights``,
+    ``self_loops``, ``finite_features``, ``label_range``, ``mask_shape``,
+    ``mask_overlap``, ``csr_form``), ``count`` how many entries/nodes are
+    affected, and ``repairable`` whether :func:`repair_graph` has a
+    canonical fix.
+    """
+
+    check: str
+    message: str
+    repairable: bool = True
+    count: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.message}"
+
+
+def _check_csr(adjacency: sp.csr_matrix, n: int) -> list[ContractViolation]:
+    """Structural well-formedness of the CSR arrays themselves."""
+    violations = []
+    indptr, indices = adjacency.indptr, adjacency.indices
+    if len(indptr) != n + 1 or indptr[0] != 0 or int(indptr[-1]) != len(indices):
+        violations.append(
+            ContractViolation(
+                "csr_form",
+                f"indptr is malformed (len {len(indptr)}, first "
+                f"{indptr[0] if len(indptr) else 'n/a'}, last "
+                f"{indptr[-1] if len(indptr) else 'n/a'}, nnz {len(indices)})",
+                repairable=False,
+            )
+        )
+        return violations  # further indexing would be unsafe
+    if len(indptr) > 1 and (np.diff(indptr) < 0).any():
+        violations.append(
+            ContractViolation(
+                "csr_form", "indptr is not monotonically non-decreasing", repairable=False
+            )
+        )
+        return violations
+    if len(indices) and (indices.min() < 0 or indices.max() >= n):
+        violations.append(
+            ContractViolation(
+                "csr_form",
+                f"column indices fall outside [0, {n})",
+                repairable=False,
+                count=int(((indices < 0) | (indices >= n)).sum()),
+            )
+        )
+    return violations
+
+
+def check_graph(graph: Graph) -> list[ContractViolation]:
+    """Run every contract check; return the violations (empty = clean)."""
+    violations: list[ContractViolation] = []
+    adjacency = graph.adjacency
+    n = adjacency.shape[0]
+
+    csr_violations = _check_csr(adjacency, n)
+    violations.extend(csr_violations)
+    if any(v.check == "csr_form" for v in csr_violations):
+        return violations  # value-level checks need a sound structure
+
+    diagonal = adjacency.diagonal()
+    if diagonal.any():
+        violations.append(
+            ContractViolation(
+                "self_loops",
+                f"{int(np.count_nonzero(diagonal))} diagonal entries are non-zero",
+                count=int(np.count_nonzero(diagonal)),
+            )
+        )
+    asym = abs(adjacency - adjacency.T)
+    if asym.nnz and asym.data.max() > 1e-9:
+        violations.append(
+            ContractViolation(
+                "symmetry",
+                f"{asym.nnz} entries differ between A and A^T",
+                count=int(asym.nnz),
+            )
+        )
+    data = adjacency.data
+    nonbinary = data[~np.isin(data, (0.0, 1.0))] if data.size else np.empty(0)
+    if nonbinary.size:
+        violations.append(
+            ContractViolation(
+                "binary_weights",
+                f"{nonbinary.size} edge weights are not in {{0, 1}} "
+                f"(e.g. {nonbinary[0]:g})",
+                count=int(nonbinary.size),
+            )
+        )
+
+    finite_rows = np.isfinite(graph.features).all(axis=1)
+    if not finite_rows.all():
+        bad = int((~finite_rows).sum())
+        violations.append(
+            ContractViolation(
+                "finite_features",
+                f"{bad} feature rows contain NaN/Inf",
+                count=bad,
+            )
+        )
+
+    if graph.labels is not None:
+        labels = graph.labels
+        if labels.shape != (n,):
+            violations.append(
+                ContractViolation(
+                    "label_range",
+                    f"labels must be ({n},), got {labels.shape}",
+                    repairable=False,
+                )
+            )
+        elif labels.size and (labels.min() < 0 or labels.max() >= n):
+            violations.append(
+                ContractViolation(
+                    "label_range",
+                    f"labels must lie in [0, {n}), got range "
+                    f"[{labels.min()}, {labels.max()}]",
+                    repairable=False,
+                )
+            )
+
+    for mask_name in _MASK_NAMES:
+        mask = getattr(graph, mask_name)
+        if mask is not None and mask.shape != (n,):
+            violations.append(
+                ContractViolation(
+                    "mask_shape",
+                    f"{mask_name} must be ({n},), got {mask.shape}",
+                    repairable=False,
+                )
+            )
+    masks = [
+        (name, getattr(graph, name))
+        for name in _MASK_NAMES
+        if getattr(graph, name) is not None and getattr(graph, name).shape == (n,)
+    ]
+    for i, (name_a, mask_a) in enumerate(masks):
+        for name_b, mask_b in masks[i + 1 :]:
+            overlap = int((mask_a & mask_b).sum())
+            if overlap:
+                violations.append(
+                    ContractViolation(
+                        "mask_overlap",
+                        f"{name_a} and {name_b} share {overlap} nodes",
+                        count=overlap,
+                    )
+                )
+    return violations
+
+
+def repair_graph(
+    graph: Graph, violations: Optional[Sequence[ContractViolation]] = None
+) -> tuple[Graph, list[ContractViolation]]:
+    """Apply the canonical repair for each repairable violation.
+
+    Returns the repaired graph and the violations that were actually
+    repaired.  Unrepairable violations are left in place — callers decide
+    whether that is fatal (:func:`validate_graph` raises).
+    """
+    if violations is None:
+        violations = check_graph(graph)
+    checks = {v.check for v in violations if v.repairable}
+    repaired = [v for v in violations if v.repairable]
+    if not checks:
+        return graph, []
+
+    adjacency = graph.adjacency
+    if "self_loops" in checks:
+        adjacency = adjacency.tolil(copy=True)
+        adjacency.setdiag(0.0)
+        adjacency = adjacency.tocsr()
+    if "symmetry" in checks:
+        adjacency = adjacency.maximum(adjacency.T).tocsr()
+    if "binary_weights" in checks:
+        adjacency = adjacency.copy()
+        adjacency.data = np.clip(np.rint(np.clip(adjacency.data, 0.0, 1.0)), 0.0, 1.0)
+    adjacency.eliminate_zeros()
+
+    features = graph.features
+    if "finite_features" in checks:
+        features = features.copy()
+        features[~np.isfinite(features).all(axis=1)] = 0.0
+
+    kwargs: dict = {}
+    if "mask_overlap" in checks:
+        # Earlier masks win: val loses nodes already in train, test loses
+        # nodes already in train or val — mirrors split precedence.
+        train = graph.train_mask
+        val = graph.val_mask
+        test = graph.test_mask
+        if val is not None and train is not None:
+            val = val & ~train
+        if test is not None:
+            claimed = np.zeros(graph.num_nodes, dtype=bool)
+            if train is not None:
+                claimed |= train
+            if val is not None:
+                claimed |= val
+            test = test & ~claimed
+        kwargs = {"val_mask": val, "test_mask": test}
+
+    fixed = replace(
+        graph, adjacency=adjacency, features=features, validate=False, **kwargs
+    )
+    return fixed, repaired
+
+
+def validate_graph(
+    graph: Graph, policy: str = "strict", context: Optional[str] = None
+) -> Graph:
+    """Enforce the graph contracts under ``policy``.
+
+    ``strict`` raises :class:`~repro.errors.GraphContractError` on any
+    violation; ``repair`` fixes repairable violations (one
+    :class:`~repro.errors.ContractWarning` per repair) and raises only when
+    a violation has no canonical fix; ``off`` returns the graph untouched.
+    ``context`` names the data source in errors/warnings (a file, a
+    defense, a dataset).
+    """
+    if policy not in VALIDATION_POLICIES:
+        raise GraphContractError(
+            f"unknown validation policy {policy!r}; choose from {VALIDATION_POLICIES}"
+        )
+    if policy == "off":
+        return graph
+    violations = check_graph(graph)
+    if not violations:
+        return graph
+    label = context or graph.name
+
+    if policy == "strict":
+        details = "; ".join(str(v) for v in violations)
+        raise GraphContractError(
+            f"graph contract violated ({label}): {details}", violations=violations
+        )
+
+    fixed, repaired = repair_graph(graph, violations)
+    for violation in repaired:
+        warnings.warn(
+            f"repaired graph contract violation ({label}): {violation}",
+            ContractWarning,
+            stacklevel=2,
+        )
+    remaining = [v for v in violations if not v.repairable]
+    if remaining:
+        details = "; ".join(str(v) for v in remaining)
+        raise GraphContractError(
+            f"unrepairable graph contract violation ({label}): {details}",
+            violations=remaining,
+        )
+    return fixed

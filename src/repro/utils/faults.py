@@ -25,6 +25,11 @@ Fault actions:
 ``nan``
     Make :func:`corrupt` return ``nan`` instead of the real value — used to
     drive the trainer's divergence detection.
+``bitflip``
+    Make :func:`damage` return ``True`` at a persistence site
+    (``"poison_archive"``, ``"journal"``): the checkpoint layer then flips a
+    byte of the artifact it just wrote, exercising digest verification and
+    quarantine-and-regenerate recovery end to end.
 
 Rules match on the call ``site`` (``"attacker"``, ``"defender"``,
 ``"trainer"``), optionally on the per-site invocation index (``at=``), and
@@ -63,13 +68,15 @@ __all__ = [
     "current",
     "perturb",
     "corrupt",
+    "damage",
 ]
 
 ENV_VAR = "REPRO_FAULTS"
 
 _PERTURB_ACTIONS = ("throw", "hang", "kill")
 _CORRUPT_ACTIONS = ("nan",)
-_ACTIONS = _PERTURB_ACTIONS + _CORRUPT_ACTIONS
+_DAMAGE_ACTIONS = ("bitflip",)
+_ACTIONS = _PERTURB_ACTIONS + _CORRUPT_ACTIONS + _DAMAGE_ACTIONS
 
 
 class InjectedFault(RuntimeError):
@@ -252,6 +259,16 @@ class FaultInjector:
         spec = self._trigger(site, context, _CORRUPT_ACTIONS)
         return float("nan") if spec is not None else value
 
+    def damage(self, site: str, **context) -> bool:
+        """True when a ``bitflip`` rule matches this invocation.
+
+        Callers that just persisted an artifact (a poison archive, a journal
+        record) consult this hook and, when it fires, deliberately corrupt
+        the bytes on disk — exercising the integrity-verification and
+        quarantine-and-regenerate paths deterministically.
+        """
+        return self._trigger(site, context, _DAMAGE_ACTIONS) is not None
+
 
 # ---------------------------------------------------------------------------
 # Process-wide installation.  The hooks below are called from hot-ish loops
@@ -300,3 +317,10 @@ def corrupt(site: str, value: float, **context) -> float:
     if _ACTIVE is not None:
         return _ACTIVE.corrupt(site, value, **context)
     return value
+
+
+def damage(site: str, **context) -> bool:
+    """Module-level hook: False unless an installed bitflip rule matches."""
+    if _ACTIVE is not None:
+        return _ACTIVE.damage(site, **context)
+    return False

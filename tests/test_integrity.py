@@ -1,0 +1,488 @@
+"""Artifact integrity: digest verification, quarantine-and-regenerate
+recovery, journal corruption tolerance, and graph contract validation.
+
+The acceptance contract (docs/data_integrity.md): corrupting any byte of a
+cached poison archive or an interior journal record, then resuming — at
+``--jobs 1`` or ``--jobs 2`` — yields a final table bit-identical to an
+uncorrupted serial run, with the damaged archive quarantined as
+``*.corrupt`` instead of crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import (
+    BudgetWarning,
+    ContractWarning,
+    GraphContractError,
+    IntegrityWarning,
+)
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentScale,
+    SweepCheckpoint,
+    TrialPolicy,
+    TrialSupervisor,
+    make_executor,
+)
+from repro.graph import Graph, check_graph, repair_graph, validate_graph
+from repro.io import (
+    CorruptArtifactError,
+    SerializationError,
+    array_digest,
+    journal_record_digest,
+    load_attack_result,
+    load_graph,
+    save_attack_result,
+    save_graph,
+)
+from repro.utils import faults
+from repro.utils.faults import FaultInjector
+
+CONFIG = ExperimentScale(scale=0.04, seeds=2, rate=0.1)
+ATTACKERS = ["PEEGA"]
+DEFENDERS = ["GCN"]
+
+
+# ---------------------------------------------------------------------------
+# Digest primitives
+
+
+class TestDigests:
+    def test_array_digest_sensitive_to_value_shape_dtype(self):
+        a = np.arange(6, dtype=np.float64)
+        assert array_digest(a) == array_digest(a.copy())
+        assert array_digest(a) != array_digest(a.reshape(2, 3))
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+        b = a.copy()
+        b[3] += 1e-12
+        assert array_digest(a) != array_digest(b)
+
+    def test_journal_record_digest_ignores_key_order_and_self(self):
+        record = {"kind": "cell", "dataset": "cora", "values": [0.5, 0.6]}
+        digest = journal_record_digest(record)
+        reordered = {"values": [0.5, 0.6], "dataset": "cora", "kind": "cell"}
+        assert journal_record_digest(reordered) == digest
+        stamped = dict(record, sha256=digest)
+        assert journal_record_digest(stamped) == digest
+        assert journal_record_digest({**record, "values": [0.5]}) != digest
+
+
+# ---------------------------------------------------------------------------
+# Archive corruption fuzzing
+
+
+def _flip_byte(path, offset):
+    raw = bytearray(path.read_bytes())
+    raw[offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestArchiveFuzz:
+    def test_graph_round_trip_verifies(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(tiny_graph, path)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(
+            loaded.adjacency.toarray(), tiny_graph.adjacency.toarray()
+        )
+        np.testing.assert_array_equal(loaded.features, tiny_graph.features)
+
+    def test_bit_flip_never_yields_wrong_graph(self, tiny_graph, tmp_path):
+        """Fuzz single-byte flips across the whole file.
+
+        Some zip bytes are redundant metadata (local-header dates, etc.) —
+        a flip there is harmless and the archive still verifies.  The
+        contract is *no silent wrong graph*: every flip either raises
+        :class:`CorruptArtifactError` or loads bytes identical to what was
+        saved.  Flips inside array data must always raise.
+        """
+        path = tmp_path / "g.npz"
+        save_graph(tiny_graph, path)
+        pristine = path.read_bytes()
+        reference = load_graph(path)
+        detected = 0
+        for offset in range(0, len(pristine), 37):
+            _flip_byte(path, offset)
+            try:
+                loaded = load_graph(path)
+            except (CorruptArtifactError, SerializationError):
+                detected += 1
+            else:
+                np.testing.assert_array_equal(
+                    loaded.adjacency.toarray(), reference.adjacency.toarray()
+                )
+                np.testing.assert_array_equal(loaded.features, reference.features)
+            finally:
+                path.write_bytes(pristine)
+        assert detected > 0, "no sampled flip hit a verified region"
+
+    def test_truncation_raises_corrupt(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(tiny_graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptArtifactError):
+            load_graph(path)
+
+    def test_deleted_array_raises_corrupt(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(tiny_graph, path)
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        del data["features"]
+        np.savez(path, **data)
+        with pytest.raises(CorruptArtifactError, match="missing from archive"):
+            load_graph(path)
+
+    def test_deleted_meta_raises_serialization_error(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(tiny_graph, path)
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        del data["meta"]
+        np.savez(path, **data)
+        with pytest.raises(SerializationError, match="no meta"):
+            load_graph(path)
+
+    def test_tampered_array_fails_digest(self, tiny_graph, tmp_path):
+        # Valid zip, valid arrays, wrong bytes: only the digest catches it.
+        path = tmp_path / "g.npz"
+        save_graph(tiny_graph, path)
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        data["features"] = data["features"].copy()
+        data["features"][0, 0] += 1.0
+        np.savez(path, **data)
+        with pytest.raises(CorruptArtifactError, match="SHA-256"):
+            load_graph(path)
+
+    def test_attack_archive_bit_flip_raises_corrupt(self, tiny_graph, tmp_path):
+        from repro.attacks import RandomAttack
+
+        result = RandomAttack(seed=0).attack(tiny_graph, perturbation_rate=0.2)
+        path = tmp_path / "atk.npz"
+        save_attack_result(result, path)
+        assert load_attack_result(path).num_perturbations == result.num_perturbations
+        _flip_byte(path, path.stat().st_size // 2)
+        with pytest.raises(CorruptArtifactError):
+            load_attack_result(path)
+
+    def test_legacy_v1_archive_loads_with_warning(self, tiny_graph, tmp_path):
+        from repro.io import _graph_payload
+
+        path = tmp_path / "v1.npz"
+        payload = _graph_payload(tiny_graph)
+        payload["meta"] = np.array(json.dumps({"kind": "graph", "name": "tiny", "version": 1}))
+        np.savez(path, **payload)
+        with pytest.warns(IntegrityWarning, match="unverified legacy archive"):
+            loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.features, tiny_graph.features)
+
+    def test_future_version_rejected(self, tiny_graph, tmp_path):
+        from repro.io import _graph_payload
+
+        path = tmp_path / "v99.npz"
+        payload = _graph_payload(tiny_graph)
+        payload["meta"] = np.array(json.dumps({"kind": "graph", "version": 99}))
+        np.savez(path, **payload)
+        with pytest.raises(SerializationError, match="newer than supported"):
+            load_graph(path)
+
+
+# ---------------------------------------------------------------------------
+# Graph contract validation
+
+
+def _graph(adjacency, **kwargs):
+    n = adjacency.shape[0]
+    defaults = dict(features=np.eye(n), name="contract", validate=False)
+    defaults.update(kwargs)
+    return Graph(adjacency=sp.csr_matrix(adjacency), **defaults)
+
+
+class TestContractValidation:
+    def test_clean_graph_has_no_violations(self, tiny_graph):
+        assert check_graph(tiny_graph) == []
+        assert validate_graph(tiny_graph, policy="strict") is tiny_graph
+
+    def test_self_loop_detected_and_repaired(self):
+        adj = np.array([[1.0, 1.0], [1.0, 0.0]])
+        graph = _graph(adj)
+        checks = {v.check for v in check_graph(graph)}
+        assert "self_loops" in checks
+        with pytest.raises(GraphContractError, match="self_loops"):
+            validate_graph(graph, policy="strict")
+        with pytest.warns(ContractWarning, match="self_loops"):
+            fixed = validate_graph(graph, policy="repair")
+        assert fixed.adjacency.diagonal().sum() == 0
+
+    def test_asymmetry_detected_and_repaired(self):
+        adj = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        graph = _graph(adj)
+        assert any(v.check == "symmetry" for v in check_graph(graph))
+        with pytest.warns(ContractWarning, match="symmetry"):
+            fixed = validate_graph(graph, policy="repair")
+        out = fixed.adjacency.toarray()
+        np.testing.assert_array_equal(out, out.T)
+        assert out[1, 0] == 1.0
+
+    def test_nonbinary_weights_detected_and_repaired(self):
+        adj = np.array([[0.0, 0.4], [0.4, 0.0]])
+        graph = _graph(adj)
+        assert any(v.check == "binary_weights" for v in check_graph(graph))
+        with pytest.warns(ContractWarning, match="binary_weights"):
+            fixed = validate_graph(graph, policy="repair")
+        assert set(np.unique(fixed.adjacency.toarray())) <= {0.0, 1.0}
+
+    def test_nonfinite_features_detected_and_zeroed(self):
+        adj = np.array([[0.0, 1.0], [1.0, 0.0]])
+        features = np.array([[1.0, np.nan], [0.0, 1.0]])
+        graph = _graph(adj, features=features)
+        assert any(v.check == "finite_features" for v in check_graph(graph))
+        with pytest.warns(ContractWarning, match="finite_features"):
+            fixed = validate_graph(graph, policy="repair")
+        np.testing.assert_array_equal(fixed.features[0], [0.0, 0.0])
+        np.testing.assert_array_equal(fixed.features[1], [0.0, 1.0])
+
+    def test_mask_overlap_detected_and_disjointed(self):
+        adj = np.array([[0.0, 1.0], [1.0, 0.0]])
+        train = np.array([True, False])
+        val = np.array([True, True])  # overlaps train at node 0
+        graph = _graph(adj, labels=np.array([0, 1]), train_mask=train, val_mask=val)
+        assert any(v.check == "mask_overlap" for v in check_graph(graph))
+        with pytest.warns(ContractWarning, match="mask_overlap"):
+            fixed = validate_graph(graph, policy="repair")
+        assert not (fixed.train_mask & fixed.val_mask).any()
+        np.testing.assert_array_equal(fixed.train_mask, train)  # earlier mask wins
+
+    def test_bad_label_shape_is_unrepairable(self):
+        adj = np.array([[0.0, 1.0], [1.0, 0.0]])
+        graph = _graph(adj, labels=np.array([0, 1, 2]))
+        with pytest.raises(GraphContractError, match="label_range"):
+            validate_graph(graph, policy="repair")
+
+    def test_malformed_csr_is_unrepairable(self):
+        adjacency = sp.csr_matrix((2, 2))
+        adjacency.indices = np.array([5], dtype=adjacency.indices.dtype)
+        adjacency.data = np.array([1.0])
+        adjacency.indptr = np.array([0, 1, 1], dtype=adjacency.indptr.dtype)
+        graph = _graph(adjacency)
+        violations = check_graph(graph)
+        assert any(v.check == "csr_form" and not v.repairable for v in violations)
+        with pytest.raises(GraphContractError, match="csr_form"):
+            validate_graph(graph, policy="repair")
+
+    def test_off_trusts_anything(self):
+        adj = np.array([[1.0, 0.4], [0.0, 0.0]])
+        graph = _graph(adj)
+        assert validate_graph(graph, policy="off") is graph
+
+    def test_unknown_policy_rejected(self, tiny_graph):
+        with pytest.raises(GraphContractError, match="unknown validation policy"):
+            validate_graph(tiny_graph, policy="lenient")
+
+    def test_repair_graph_reports_what_it_fixed(self):
+        adj = np.array([[1.0, 0.4], [0.4, 0.0]])
+        graph = _graph(adj)
+        fixed, repaired = repair_graph(graph)
+        assert {v.check for v in repaired} == {"self_loops", "binary_weights"}
+        assert check_graph(fixed) == []
+
+    def test_isolated_nodes_are_not_violations(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0  # node 2 isolated
+        assert check_graph(_graph(adj)) == []
+
+
+# ---------------------------------------------------------------------------
+# Budget clamping
+
+
+class TestBudgetClamp:
+    def test_infeasible_budget_clamped_with_warning(self, tiny_graph):
+        from repro.attacks import RandomAttack
+        from repro.attacks.base import AttackBudget, feasible_budget_ceiling
+
+        ceiling = feasible_budget_ceiling(tiny_graph)
+        with pytest.warns(BudgetWarning, match="feasible flip ceiling"):
+            result = RandomAttack(seed=0).attack(
+                tiny_graph, budget=AttackBudget(total=ceiling * 10)
+            )
+        assert result.budget.total == ceiling
+        result.verify_budget()
+
+    def test_feasible_budget_untouched(self, tiny_graph):
+        from repro.attacks import RandomAttack
+        from repro.attacks.base import AttackBudget
+
+        result = RandomAttack(seed=0).attack(tiny_graph, budget=AttackBudget(total=2))
+        assert result.budget.total == 2
+
+
+# ---------------------------------------------------------------------------
+# Quarantine-and-regenerate + corrupt-journal recovery (the tentpole contract)
+
+
+def run_sweep(directory, jobs=1, resume=False):
+    checkpoint = SweepCheckpoint(directory, resume=resume)
+    runner = ExperimentRunner(
+        CONFIG,
+        supervisor=TrialSupervisor(TrialPolicy(max_attempts=2)),
+        checkpoint=checkpoint,
+        executor=make_executor(jobs),
+    )
+    table = runner.accuracy_table("cora", attackers=ATTACKERS, defenders=DEFENDERS)
+    return table, checkpoint
+
+
+def cells_of(table):
+    return {
+        (row, name): (cell.values if cell is not None else None)
+        for row, columns in table.rows.items()
+        for name, cell in columns.items()
+    }
+
+
+def _tamper_cell_record(journal_path, attacker):
+    """Corrupt the journal record of ``attacker``'s cell: still valid JSON,
+    wrong values — only the digest can catch it."""
+    lines = journal_path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("kind") == "cell" and record.get("attacker") == attacker:
+            record["values"][0] += 0.25  # silent data corruption
+            lines[i] = json.dumps(record)  # keeps the stale sha256
+            break
+    else:
+        raise AssertionError(f"no cell record for {attacker}")
+    journal_path.write_text("\n".join(lines) + "\n")
+
+
+def _poison_archives(directory):
+    return sorted(directory.glob("poison_*.npz"))
+
+
+@pytest.fixture(scope="module")
+def reference_sweep(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("reference")
+    table, _ = run_sweep(directory)
+    assert not table.failures
+    assert _poison_archives(directory), "sweep must persist a poison archive"
+    return directory, cells_of(table)
+
+
+class TestQuarantineAndRegenerate:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_corrupt_poison_archive_is_quarantined_and_regenerated(
+        self, reference_sweep, tmp_path, jobs
+    ):
+        reference_dir, reference_cells = reference_sweep
+        workdir = tmp_path / f"jobs{jobs}"
+        shutil.copytree(reference_dir, workdir)
+        poison = _poison_archives(workdir)[0]
+        _flip_byte(poison, poison.stat().st_size // 2)
+        # The poisoned row's cell must re-run for the archive to be read at
+        # all — corrupt its journal record too (the acceptance scenario:
+        # interior record + archive both damaged).
+        _tamper_cell_record(workdir / "journal.jsonl", ATTACKERS[0])
+
+        with pytest.warns(IntegrityWarning):
+            table, checkpoint = run_sweep(workdir, jobs=jobs, resume=True)
+
+        assert cells_of(table) == reference_cells
+        assert not table.failures
+        assert checkpoint.corrupt_records, "tampered record must be reported"
+        quarantined = list(workdir.glob("*.corrupt"))
+        assert quarantined, "corrupt archive must be renamed *.corrupt"
+        assert not poison.exists() or poison in _poison_archives(workdir)
+        # The regenerated archive must verify cleanly.
+        regenerated = _poison_archives(workdir)
+        assert regenerated
+        load_attack_result(regenerated[0])
+
+    def test_corrupt_interior_journal_record_reruns_cell(
+        self, reference_sweep, tmp_path
+    ):
+        reference_dir, reference_cells = reference_sweep
+        workdir = tmp_path / "journal-only"
+        shutil.copytree(reference_dir, workdir)
+        # The Clean cell completes before the attacked cell, so its record is
+        # interior; the poison archive stays valid.
+        _tamper_cell_record(workdir / "journal.jsonl", "Clean")
+
+        with pytest.warns(IntegrityWarning, match="digest mismatch"):
+            table, checkpoint = run_sweep(workdir, resume=True)
+
+        assert cells_of(table) == reference_cells
+        assert checkpoint.corrupt_records
+        assert not list(workdir.glob("*.corrupt"))  # archive untouched
+
+    def test_torn_trailing_line_is_silently_ignored(self, reference_sweep, tmp_path):
+        reference_dir, reference_cells = reference_sweep
+        workdir = tmp_path / "torn"
+        shutil.copytree(reference_dir, workdir)
+        journal = workdir / "journal.jsonl"
+        raw = journal.read_bytes().rstrip(b"\n")
+        journal.write_bytes(raw[: len(raw) - len(raw.splitlines()[-1]) // 2])
+
+        table, checkpoint = run_sweep(workdir, resume=True)
+        assert cells_of(table) == reference_cells
+        assert checkpoint.corrupt_records == []  # a torn tail is normal
+
+    def test_legacy_journal_records_accepted(self, reference_sweep, tmp_path):
+        reference_dir, reference_cells = reference_sweep
+        workdir = tmp_path / "legacy"
+        shutil.copytree(reference_dir, workdir)
+        journal = workdir / "journal.jsonl"
+        lines = []
+        for line in journal.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("sha256", None)
+            lines.append(json.dumps(record))
+        journal.write_text("\n".join(lines) + "\n")
+
+        with pytest.warns(IntegrityWarning, match="legacy journal records"):
+            table, _ = run_sweep(workdir, resume=True)
+        assert cells_of(table) == reference_cells
+
+
+class TestFaultInjectedBitflips:
+    def test_poison_archive_bitflip_then_resume(self, reference_sweep, tmp_path):
+        """bitflip at the poison_archive site corrupts the written archive;
+        the next resume quarantines and regenerates it."""
+        reference_dir, reference_cells = reference_sweep
+        workdir = tmp_path / "injected"
+        injector = FaultInjector(FaultInjector.parse("poison_archive:bitflip:times=1"))
+        with faults.active(injector):
+            table, _ = run_sweep(workdir)
+        assert cells_of(table) == reference_cells  # in-memory result unharmed
+        assert any(e.site == "poison_archive" for e in injector.events)
+        poison = _poison_archives(workdir)[0]
+        with pytest.raises(CorruptArtifactError):
+            load_attack_result(poison)
+
+        _tamper_cell_record(workdir / "journal.jsonl", ATTACKERS[0])
+        with pytest.warns(IntegrityWarning):
+            table2, checkpoint = run_sweep(workdir, resume=True)
+        assert cells_of(table2) == reference_cells
+        assert list(workdir.glob("*.corrupt"))
+        assert checkpoint.quarantines
+
+    def test_journal_bitflip_then_resume(self, reference_sweep, tmp_path):
+        reference_dir, reference_cells = reference_sweep
+        workdir = tmp_path / "journal-injected"
+        injector = FaultInjector(FaultInjector.parse("journal:bitflip:times=1"))
+        with faults.active(injector):
+            table, _ = run_sweep(workdir)
+        assert cells_of(table) == reference_cells
+        assert any(e.site == "journal" for e in injector.events)
+
+        table2, checkpoint = run_sweep(workdir, resume=True)
+        assert cells_of(table2) == reference_cells

@@ -86,3 +86,57 @@ class TestSelfLoops:
         adj = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
         out = add_self_loops(adj).toarray()
         np.testing.assert_allclose(out, np.array([[1.0, 1.0], [1.0, 1.0]]))
+
+
+class TestIsolatedNodeConvention:
+    """Sparse, dense, and cached normalization agree bit-for-bit on a graph
+    with an isolated node (the zero-row convention — no eps^{-1/2} blow-up)."""
+
+    def _graph_with_isolate(self):
+        # Node 3 is isolated; {0,1,2} form a triangle.
+        adj = np.zeros((4, 4))
+        for u, v in [(0, 1), (0, 2), (1, 2)]:
+            adj[u, v] = adj[v, u] = 1.0
+        return adj
+
+    def test_sparse_zero_row_without_loops(self):
+        adj = self._graph_with_isolate()
+        normalized = gcn_normalize(sp.csr_matrix(adj), add_loops=False).toarray()
+        assert np.isfinite(normalized).all()
+        np.testing.assert_array_equal(normalized[3], np.zeros(4))
+        np.testing.assert_array_equal(normalized[:, 3], np.zeros(4))
+
+    def test_dense_zero_row_without_loops(self):
+        adj = self._graph_with_isolate()
+        normalized = gcn_normalize_dense(adj, add_loops=False).data
+        assert np.isfinite(normalized).all()
+        np.testing.assert_array_equal(normalized[3], np.zeros(4))
+
+    def test_sparse_dense_bit_identical(self):
+        adj = self._graph_with_isolate()
+        for add_loops in (False, True):
+            sparse_result = gcn_normalize(sp.csr_matrix(adj), add_loops=add_loops).toarray()
+            dense_result = gcn_normalize_dense(adj, add_loops=add_loops).data
+            np.testing.assert_array_equal(sparse_result, dense_result)
+
+    def test_cache_matches_sparse_bit_identical(self):
+        from repro.graph import Graph
+        from repro.surrogate import PropagationCache
+
+        adj = self._graph_with_isolate()
+        graph = Graph(
+            adjacency=sp.csr_matrix(adj),
+            features=np.eye(4),
+            name="isolate",
+        )
+        cached = PropagationCache(graph).normalized.toarray()
+        sparse_result = gcn_normalize(graph.adjacency, add_loops=True).toarray()
+        dense_result = gcn_normalize_dense(adj, add_loops=True).data
+        np.testing.assert_array_equal(cached, sparse_result)
+        np.testing.assert_array_equal(cached, dense_result)
+
+    def test_dense_gradient_finite_with_isolate(self):
+        adj = self._graph_with_isolate()
+        tensor = Tensor(adj, requires_grad=True)
+        gcn_normalize_dense(tensor, add_loops=False).sum().backward()
+        assert np.isfinite(tensor.grad).all()
