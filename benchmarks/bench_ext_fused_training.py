@@ -1,0 +1,164 @@
+"""Extension bench — fused closed-form training engine vs the autodiff oracle.
+
+The autodiff path traces a fresh ``Tensor`` graph per epoch, computes the
+never-consumed feature gradient of layer 0 (an ``n × in_dim`` GEMM), and
+pays a second full forward per epoch for validation.  The fused engine
+(:mod:`repro.nn.fastpath`) computes loss and parameter gradients in closed
+form over epoch-reused buffers, skips the dead feature gradient, defers
+validation to the next epoch's training forward (layer 0 carries no
+dropout, so only the hidden-dim tail is recomputed), and — for GNAT's
+multi-view forward — computes ``X @ W⁰`` once, shared across views.
+
+The contract is *bit-identity*: both engines walk the same weight
+trajectory, so losses, accuracies and stopping epochs must be EXACTLY
+equal; only the cost may differ.  This bench fits plain GCN (a batch of
+sweep-cell-sized fits, the grain every table/figure sweep is made of) and
+the full multi-view GNAT with both engines, asserts outcome equality,
+demands the fused engine is at least 2x faster per fit, and records the
+per-fit times in ``benchmarks/results/BENCH_training.json`` (the CI perf
+job's artifact).
+
+Measurement notes: single-core CI containers are noisy neighbors, so the
+bench times process CPU (contention-insensitive), interleaves the engines,
+takes the best of several repeats, and re-measures a bounded number of
+times before declaring a miss — the claim under test is "the engine
+delivers a ≥2x fit, bit-identically", not a statistical distribution.
+``REPRO_BENCH_QUICK=1`` (CI smoke mode) shrinks repeats and relaxes the
+floor to 1.3x; the job still fails if fused is slower than autodiff.
+"""
+
+import json
+import os
+import time
+
+from _util import RESULTS_DIR, emit, run_once
+
+from repro.core import GNAT
+from repro.datasets import load_dataset
+from repro.experiments import format_series
+from repro.graph.viewcache import clear_view_cache
+from repro.nn import GCN, TrainConfig, train_node_classifier
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+MIN_SPEEDUP = 1.3 if QUICK else 2.0
+REPEATS = 2 if QUICK else 5
+ATTEMPTS = 2 if QUICK else 3
+GCN_SCALE = 0.04  # the sweep-cell grain (tests/CI sweeps run here)
+GCN_SEEDS = (11, 12, 13, 14, 15)  # one batch = a sweep column's trials
+GNAT_SCALE = 0.15 if QUICK else 0.3
+CONFIG = TrainConfig(epochs=200, patience=30)
+
+
+def _fit_gcn_batch(graph, engine):
+    outcomes = []
+    for seed in GCN_SEEDS:
+        model = GCN(graph.num_features, graph.num_classes, dropout=0.5, seed=seed)
+        result = train_node_classifier(model, graph, CONFIG, engine=engine)
+        outcomes.append(
+            (result.train_losses, result.val_accuracies, result.test_accuracy,
+             result.epochs_run)
+        )
+    return outcomes
+
+
+def _fit_gnat(graph, engine):
+    # The view cache would hide the view-build cost from whichever engine
+    # runs second; clear it so both fits pay identical build work.
+    clear_view_cache()
+    result = GNAT(train_config=CONFIG, engine=engine, seed=5).fit(graph)
+    return result.test_accuracy, result.val_accuracy
+
+
+def _measure(fn):
+    """Best-of-REPEATS process-CPU cost of ``fn`` per engine, interleaved."""
+    best = {"autodiff": None, "fused": None}
+    outcome = {}
+    for _ in range(REPEATS):
+        for engine in ("autodiff", "fused"):
+            start = time.process_time()
+            outcome[engine] = fn(engine)
+            elapsed = time.process_time() - start
+            if best[engine] is None or elapsed < best[engine]:
+                best[engine] = elapsed
+    return best, outcome
+
+
+def _measure_until(fn, floor):
+    """Re-measure up to ATTEMPTS times until the speedup clears ``floor``."""
+    best, outcome = _measure(fn)
+    for _ in range(ATTEMPTS - 1):
+        if best["autodiff"] / best["fused"] >= floor:
+            break
+        again, outcome = _measure(fn)
+        for engine, elapsed in again.items():
+            best[engine] = min(best[engine], elapsed)
+    return best, outcome
+
+
+def test_ext_fused_training(benchmark):
+    gcn_graph = load_dataset("cora", scale=GCN_SCALE)
+    gnat_graph = load_dataset("cora", scale=GNAT_SCALE)
+
+    def run():
+        gcn_times, gcn_out = _measure_until(
+            lambda engine: _fit_gcn_batch(gcn_graph, engine), MIN_SPEEDUP
+        )
+        gnat_times, gnat_out = _measure_until(
+            lambda engine: _fit_gnat(gnat_graph, engine), MIN_SPEEDUP
+        )
+        return gcn_times, gcn_out, gnat_times, gnat_out
+
+    gcn_times, gcn_out, gnat_times, gnat_out = run_once(benchmark, run)
+
+    fits = len(GCN_SEEDS)
+    per_fit = {
+        "GCN/autodiff": gcn_times["autodiff"] / fits,
+        "GCN/fused": gcn_times["fused"] / fits,
+        "GNAT/autodiff": gnat_times["autodiff"],
+        "GNAT/fused": gnat_times["fused"],
+    }
+    speedups = {
+        "GCN": gcn_times["autodiff"] / gcn_times["fused"],
+        "GNAT": gnat_times["autodiff"] / gnat_times["fused"],
+    }
+    text = format_series(
+        "per-fit",
+        list(per_fit),
+        {"cpu seconds": [per_fit[key] for key in per_fit]},
+        percent=False,
+        title=(
+            f"Extension — fused training engine (cora, GCN scale {GCN_SCALE} "
+            f"x{fits} fits, GNAT scale {GNAT_SCALE}): "
+            f"GCN {speedups['GCN']:.2f}x, GNAT {speedups['GNAT']:.2f}x"
+        ),
+    )
+    emit("ext_fused_training", text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "dataset": "cora",
+        "gcn_scale": GCN_SCALE,
+        "gcn_fits": fits,
+        "gnat_scale": GNAT_SCALE,
+        "quick": QUICK,
+        "min_speedup": MIN_SPEEDUP,
+        "per_fit_cpu_seconds": per_fit,
+        "speedups": speedups,
+    }
+    (RESULTS_DIR / "BENCH_training.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Bit-identity, not mere statistical closeness: the fused engine walks
+    # the exact weight trajectory of autodiff, so every loss, accuracy and
+    # stopping epoch must be equal to the last bit.
+    assert gcn_out["autodiff"] == gcn_out["fused"]
+    assert gnat_out["autodiff"] == gnat_out["fused"]
+
+    # The engine exists to be fast: demand a real speedup, not noise.
+    for name, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"fused {name} only {speedup:.2f}x faster; per-fit CPU seconds: "
+            f"{per_fit[name + '/autodiff']:.4f} autodiff vs "
+            f"{per_fit[name + '/fused']:.4f} fused"
+        )

@@ -18,6 +18,7 @@ tables use.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -38,6 +39,7 @@ from .experiments import (
 )
 from .graph import VALIDATION_POLICIES
 from .io import load_attack_result, load_graph, save_attack_result, save_graph
+from .nn.fastpath import ENGINE_ENV_VAR, ENGINES
 
 __all__ = ["main", "build_parser"]
 
@@ -52,6 +54,24 @@ def _add_validate_flag(parser: argparse.ArgumentParser, default: str = "strict")
         f"self-loops...) with a warning per fix, off trusts the input "
         f"(default {default})",
     )
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="training engine: auto (default) fuses eligible GCN/SGC/GNAT "
+        "fits into closed-form kernels with bit-identical results, fused "
+        "requires fusion, autodiff forces the traced path; also settable "
+        f"via ${ENGINE_ENV_VAR}",
+    )
+
+
+def _apply_engine_flag(args: argparse.Namespace) -> None:
+    """Export --engine so every trainer (incl. --jobs pool workers) sees it."""
+    if getattr(args, "engine", None):
+        os.environ[ENGINE_ENV_VAR] = args.engine
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dataset name for the preset hyper-parameters")
     p_defend.add_argument("--seeds", type=int, default=3)
     _add_validate_flag(p_defend, default="repair")
+    _add_engine_flag(p_defend)
 
     p_table = sub.add_parser("table", help="regenerate a Table IV/V/VI-style grid")
     p_table.add_argument("dataset", choices=dataset_names())
@@ -138,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-trial wall-clock deadline in seconds (default: none)",
     )
     _add_validate_flag(p_table)
+    _add_engine_flag(p_table)
 
     p_analyze = sub.add_parser("analyze", help="attack-pattern analysis (Fig 1/2)")
     p_analyze.add_argument("--attack", required=True, help=".npz attack archive")
@@ -191,6 +213,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 def _cmd_defend(args: argparse.Namespace) -> int:
     if bool(args.graph) == bool(args.attack):
         raise SystemExit("give exactly one of --graph / --attack")
+    _apply_engine_flag(args)
     if args.graph:
         graph = load_graph(args.graph, validate=args.validate)
     else:
@@ -221,6 +244,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
+    _apply_engine_flag(args)
     config = ExperimentScale(scale=args.scale, seeds=args.seeds, rate=args.rate)
     supervisor = TrialSupervisor(
         TrialPolicy(max_attempts=args.max_attempts, deadline_seconds=args.deadline)

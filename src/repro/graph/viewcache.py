@@ -1,0 +1,138 @@
+"""Process-wide cache for derived view operators (kNN / k-hop graphs).
+
+GNAT rebuilds its feature view (an O(n²) cosine top-k) and topology view
+(k-hop sparse powers) on *every* fit, and a Table IV-style sweep fits GNAT
+for every (attacker, rate, seed) cell — but structure-only attacks never
+touch the features, and many cells share the same poisoned adjacency.  This
+module memoizes those derived operators the same way :class:`repro.nn.SGC`
+memoizes ``A_n^k X``: keyed purely by *content fingerprint* (blake2b of the
+underlying arrays), so a mutated feature matrix or adjacency can never hit
+a stale entry — mutation changes the key, which IS the invalidation.
+
+The cache is deliberately ambient (module-level, thread-safe):
+
+* the serial executor and the trial supervisor's worker threads share one
+  cache inside the parent process;
+* each ``--jobs N`` pool worker owns a private copy in its own process and
+  warms it with its first trial — no cross-process plumbing needed, and
+  because every entry is content-addressed and every build deterministic,
+  hits and misses produce byte-identical operators.  Journals therefore
+  stay bit-identical across ``--jobs 1`` / ``--jobs N`` and across
+  cold/warm caches.
+
+Entries are returned as *copies* so callers can mutate their operator (GNAT
+normalizes views in place of fresh objects) without poisoning the cache.
+Set ``REPRO_VIEW_CACHE=0`` to disable caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "cached_operator",
+    "array_fingerprint",
+    "csr_fingerprint",
+    "view_cache_stats",
+    "clear_view_cache",
+    "set_view_cache_capacity",
+]
+
+_DEFAULT_CAPACITY = 32
+
+_lock = threading.Lock()
+_store: "OrderedDict[tuple, sp.csr_matrix]" = OrderedDict()
+_capacity = _DEFAULT_CAPACITY
+_hits = 0
+_misses = 0
+_evictions = 0
+
+
+def _enabled() -> bool:
+    return os.environ.get("REPRO_VIEW_CACHE", "1") != "0"
+
+
+def array_fingerprint(array: np.ndarray) -> tuple:
+    """Content fingerprint of a dense array (shape, dtype, blake2b)."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(array.tobytes())
+    return (array.shape, str(array.dtype), digest.digest())
+
+
+def csr_fingerprint(matrix: sp.spmatrix) -> tuple:
+    """Content fingerprint of a sparse matrix (structure and values)."""
+    matrix = matrix.tocsr()
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(matrix.indptr.tobytes())
+    digest.update(matrix.indices.tobytes())
+    digest.update(matrix.data.tobytes())
+    return (matrix.shape, matrix.nnz, digest.digest())
+
+
+def cached_operator(
+    kind: str, fingerprint: tuple, build: Callable[[], sp.spmatrix]
+) -> sp.csr_matrix:
+    """Return ``build()`` memoized under ``(kind, fingerprint)``.
+
+    ``build`` must be deterministic in the fingerprinted inputs; the result
+    is stored once and copied out on every hit, so callers own their matrix.
+    """
+    global _hits, _misses, _evictions
+    if not _enabled():
+        return build().tocsr()
+    key = (kind, fingerprint)
+    with _lock:
+        cached = _store.get(key)
+        if cached is not None:
+            _store.move_to_end(key)
+            _hits += 1
+    if cached is not None:
+        return cached.copy()
+    value = build().tocsr()
+    with _lock:
+        _misses += 1
+        _store[key] = value
+        _store.move_to_end(key)
+        while len(_store) > _capacity:
+            _store.popitem(last=False)
+            _evictions += 1
+    return value.copy()
+
+
+def view_cache_stats() -> dict:
+    """Hit/miss/eviction counters and the current entry count."""
+    with _lock:
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "evictions": _evictions,
+            "entries": len(_store),
+            "capacity": _capacity,
+        }
+
+
+def clear_view_cache() -> None:
+    """Drop every entry and reset the counters (used by tests/benchmarks)."""
+    global _hits, _misses, _evictions
+    with _lock:
+        _store.clear()
+        _hits = _misses = _evictions = 0
+
+
+def set_view_cache_capacity(capacity: int) -> None:
+    """Bound the number of cached operators (LRU eviction beyond it)."""
+    global _capacity
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    with _lock:
+        _capacity = int(capacity)
+        while len(_store) > _capacity:
+            _store.popitem(last=False)

@@ -1,6 +1,7 @@
 """GNN models and training infrastructure."""
 
 from .appnp import APPNP
+from .fastpath import ENGINES, MultiViewForward, resolve_engine
 from .gat import GAT, GraphAttentionLayer
 from .gcn import GCN, GraphConvolution
 from .metrics import accuracy, confusion_matrix
@@ -25,4 +26,7 @@ __all__ = [
     "evaluate",
     "accuracy",
     "confusion_matrix",
+    "ENGINES",
+    "MultiViewForward",
+    "resolve_engine",
 ]

@@ -1,0 +1,601 @@
+"""Fused closed-form training kernels for the sparse-operator GCN family.
+
+:func:`repro.nn.train_node_classifier` normally traces a per-op autodiff
+graph through :class:`repro.tensor.Tensor` every epoch.  That generality is
+needed by GAT's attention, RGCN's KL term and SimPGCN's SSL head — but the
+models that dominate every sweep (plain GCN, SGC, and GNAT's shared
+multi-view GCN) are compositions of a fixed handful of kernels whose
+gradients are known in closed form.  This module computes them directly:
+
+* one NumPy pass for the forward (loss included), one for every parameter
+  gradient, with no ``Tensor`` graph construction, no gather/scatter loss
+  backward, and preallocated buffers reused across epochs;
+* the never-consumed feature gradient of layer 0 (``g @ W⁰ᵀ``, an
+  ``n × in_dim`` GEMM per view that autodiff computes and discards because
+  features carry no grad) is skipped outright;
+* for GNAT's multi-view forward the first-layer product ``X @ W⁰`` is
+  computed **once** and shared across the t/f/e views — they differ only in
+  the propagation operator applied on top of it.
+
+The contract is *bit-identity*, in the tradition of PR 1's incremental
+PEEGA scorer and PR 3's SGC memo: every float operation of the autodiff
+path is replicated with the same NumPy kernels in the same order (IEEE-754
+addition is not associative, so even the order in which per-view gradients
+fold into a shared parameter matters — autodiff processes views in reverse
+construction order, and so does :class:`_FusedMultiView`).  Dropout draws
+come from the model's own ``_dropout_rng`` stream in the same order and
+with the same expression as :func:`repro.tensor.functional.dropout`, so
+the weight trajectory of a fused run is indistinguishable from an autodiff
+run — journals, checkpoints and resume all compose.
+
+Engine selection (``train_node_classifier(..., engine=...)``):
+
+* ``"auto"`` (default) — fuse when eligible, else autodiff;
+* ``"fused"`` — fuse or raise :class:`~repro.errors.ConfigError`;
+* ``"autodiff"`` — always trace (the oracle path).
+
+``engine=None`` defers to the ``REPRO_ENGINE`` environment variable
+(inherited by ``--jobs N`` pool workers), defaulting to ``"auto"``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import ConfigError, ShapeError
+from ..tensor import Tensor, functional as F
+from .gcn import GCN
+from .sgc import SGC
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "MultiViewForward",
+    "resolve_engine",
+    "make_fused_kernel",
+    "training_matches_eval",
+]
+
+ENGINES = ("auto", "fused", "autodiff")
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+try:  # SciPy's CSR kernel, reachable with a caller-owned output buffer.
+    from scipy.sparse import _sparsetools as _sparsetools
+
+    _csr_matvecs = _sparsetools.csr_matvecs
+except Exception:  # pragma: no cover - depends on scipy internals
+    _csr_matvecs = None
+
+
+def _spmm(matrix: sp.csr_matrix, dense: np.ndarray, out: Optional[np.ndarray]):
+    """``matrix @ dense`` into a reused buffer when the kernel is reachable.
+
+    SciPy's ``_mul_multivector`` allocates a zeroed result and accumulates
+    with ``csr_matvecs`` — doing the same into ``out`` is bit-identical
+    while skipping the per-epoch allocation.
+    """
+    if out is None or _csr_matvecs is None or not dense.flags.c_contiguous:
+        return matrix @ dense
+    out[...] = 0.0
+    _csr_matvecs(
+        matrix.shape[0],
+        matrix.shape[1],
+        dense.shape[1],
+        matrix.indptr,
+        matrix.indices,
+        matrix.data,
+        dense.ravel(),
+        out.ravel(),
+    )
+    return out
+
+
+def _spmm_fresh(matrix: sp.csr_matrix, dense: np.ndarray) -> np.ndarray:
+    """``matrix @ dense`` as a fresh allocation, minus the scipy dispatch."""
+    if _csr_matvecs is None or not dense.flags.c_contiguous:
+        return matrix @ dense
+    out = np.zeros((matrix.shape[0], dense.shape[1]))
+    _csr_matvecs(
+        matrix.shape[0],
+        matrix.shape[1],
+        dense.shape[1],
+        matrix.indptr,
+        matrix.indices,
+        matrix.data,
+        dense.ravel(),
+        out.ravel(),
+    )
+    return out
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Normalize an engine request (``None`` → ``$REPRO_ENGINE`` → auto)."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or "auto"
+    engine = str(engine).lower()
+    if engine not in ENGINES:
+        raise ConfigError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+class MultiViewForward:
+    """GNAT's averaged multi-view forward as a dispatchable callable.
+
+    The paper averages the per-view label *probabilities*
+    ``Z = (Z^t + Z^f + Z^e)/3`` — robust to one confidently-wrong view.
+    Returning ``log(Z̄)`` keeps the standard cross-entropy loss exact
+    (log-softmax of a log-probability vector is itself).
+
+    As a class (rather than GNAT's former inline closure) the trainer can
+    recognize it and dispatch to :class:`_FusedMultiView`; calling it runs
+    the identical autodiff composition.
+    """
+
+    def __init__(self, model: GCN, operators: Sequence[sp.spmatrix]) -> None:
+        if not operators:
+            raise ConfigError("MultiViewForward needs at least one operator")
+        self.model = model
+        self.operators = list(operators)
+
+    def __call__(self, _adjacency: object, features: Tensor) -> Tensor:
+        probs = F.softmax(self.model.forward(self.operators[0], features), axis=1)
+        for operator in self.operators[1:]:
+            probs = probs + F.softmax(self.model.forward(operator, features), axis=1)
+        return (probs * (1.0 / float(len(self.operators))) + 1e-12).log()
+
+
+# ----------------------------------------------------------------------
+# Closed-form loss: masked cross-entropy from raw logits
+# ----------------------------------------------------------------------
+class _MaskedCrossEntropy:
+    """Bit-exact replica of ``F.cross_entropy(logits, labels, mask)``.
+
+    Forward stores the log-softmax (reused by backward); backward returns
+    d(loss)/d(logits).  The gradient buffer is epoch-reused.
+    """
+
+    def __init__(
+        self, labels: np.ndarray, mask: Optional[np.ndarray], shape: tuple[int, int]
+    ) -> None:
+        targets = np.asarray(labels, dtype=np.int64)
+        if mask is None:
+            rows = np.arange(len(targets))
+        else:
+            rows = np.flatnonzero(np.asarray(mask))
+        if len(rows) == 0:
+            raise ShapeError("nll_loss mask selects no rows")
+        self.rows = rows
+        self.targets = targets[rows]
+        self.inv = 1.0 / float(len(rows))
+        self._logp = np.empty(shape)
+        self._grad = np.empty(shape)
+        self._scratch = np.empty(shape)
+        self._row = np.empty((shape[0], 1))
+
+    def forward(self, logits: np.ndarray) -> float:
+        shifted = np.subtract(
+            logits, np.max(logits, axis=-1, keepdims=True, out=self._row),
+            out=self._scratch,
+        )
+        np.exp(shifted, out=self._logp)
+        np.sum(self._logp, axis=-1, keepdims=True, out=self._row)
+        np.subtract(shifted, np.log(self._row, out=self._row), out=self._logp)
+        picked = self._logp[self.rows, self.targets]
+        return float(-picked.sum() * self.inv)
+
+    def backward(self) -> np.ndarray:
+        # NLL backward is a scatter of -1/k into the picked entries; the
+        # log-softmax backward is g - softmax * rowsum(g).
+        grad = self._grad
+        grad[...] = 0.0
+        grad[self.rows, self.targets] = -self.inv
+        softmax = np.exp(self._logp, out=self._scratch)
+        np.sum(grad, axis=-1, keepdims=True, out=self._row)
+        np.multiply(softmax, self._row, out=softmax)
+        return np.subtract(grad, softmax, out=grad)
+
+
+# ----------------------------------------------------------------------
+# Fused kernels
+# ----------------------------------------------------------------------
+class _FusedGCN:
+    """Closed-form trainer kernel for a plain L-layer sparse-operator GCN."""
+
+    def __init__(self, model: GCN, adjacency: sp.spmatrix, graph) -> None:
+        self.model = model
+        matrix = adjacency.tocsr()
+        self.matrix = matrix
+        self.matrix_t = matrix.T.tocsr()
+        self.features = np.asarray(graph.features, dtype=np.float64)
+        layers = model.layers
+        n = self.features.shape[0]
+        self.loss = _MaskedCrossEntropy(
+            graph.labels, graph.train_mask, (n, layers[-1].weight.shape[1])
+        )
+        # Epoch-reused buffers.  The final logits are deliberately NOT
+        # buffered: the trainer keeps them alive as best-epoch validation
+        # logits, so they must be fresh allocations every epoch.
+        self._support = [np.empty((n, l.weight.shape[1])) for l in layers]
+        self._prop = [np.empty((n, l.weight.shape[1])) for l in layers[:-1]]
+        self._gs = [np.empty((n, l.weight.shape[1])) for l in layers]
+        self._posmask = [np.empty((n, l.weight.shape[1]), dtype=bool) for l in layers[:-1]]
+        self._act = [None] + [np.empty((n, l.weight.shape[0])) for l in layers[1:]]
+        self._drop = [None] + [np.empty((n, l.weight.shape[0])) for l in layers[1:]]
+        self._rand = [None] + [np.empty((n, l.weight.shape[0])) for l in layers[1:]]
+        self._keepmask = [None] + [
+            np.empty((n, l.weight.shape[0]), dtype=bool) for l in layers[1:]
+        ]
+        self._keep = [None] + [np.empty((n, l.weight.shape[0])) for l in layers[1:]]
+        self._grad_in = [None] + [np.empty((n, l.weight.shape[0])) for l in layers[1:]]
+        self._grad_w = [np.empty(l.weight.shape) for l in layers]
+        self._grad_b = [np.empty(l.bias.shape) for l in layers]
+        self._inputs: list[Optional[np.ndarray]] = [None] * len(layers)
+        self._preacts: list[Optional[np.ndarray]] = [None] * len(layers)
+        self._keeps: list[Optional[np.ndarray]] = [None] * len(layers)
+
+    def train_forward(self) -> tuple[float, np.ndarray]:
+        model = self.model
+        rate = model.dropout
+        rng = model._dropout_rng
+        last = len(model.layers) - 1
+        h = self.features
+        for i, layer in enumerate(model.layers):
+            if i > 0:
+                a = np.maximum(h, 0.0, out=self._act[i])
+                if rate > 0.0:
+                    # Same draws, same expression as F.dropout — just into
+                    # reused buffers (bool -> float division is the exact
+                    # astype-then-divide arithmetic).
+                    rng.random(out=self._rand[i])
+                    np.greater_equal(self._rand[i], rate, out=self._keepmask[i])
+                    keep = np.divide(
+                        self._keepmask[i], 1.0 - rate, out=self._keep[i]
+                    )
+                    h = np.multiply(a, keep, out=self._drop[i])
+                else:
+                    keep = None
+                    h = a
+                self._keeps[i] = keep
+            self._inputs[i] = h
+            support = np.matmul(h, layer.weight.data, out=self._support[i])
+            if i < last:
+                out = _spmm(self.matrix, support, self._prop[i])
+                np.add(out, layer.bias.data, out=out)
+                self._preacts[i] = out
+            else:
+                # The trainer keeps final logits alive across epochs (they
+                # become the best-epoch validation logits), so they must be
+                # a fresh allocation — but the bias add can still be
+                # in-place on the freshly-owned array.
+                out = _spmm_fresh(self.matrix, support)
+                np.add(out, layer.bias.data, out=out)
+            h = out
+        return self.loss.forward(h), h
+
+    def backward(self) -> None:
+        layers = self.model.layers
+        g = self.loss.backward()
+        for i in range(len(layers) - 1, -1, -1):
+            layer = layers[i]
+            layer.bias.grad = np.sum(g, axis=0, out=self._grad_b[i])
+            gs = _spmm(self.matrix_t, g, self._gs[i])
+            layer.weight.grad = np.matmul(self._inputs[i].T, gs, out=self._grad_w[i])
+            if i > 0:
+                # Feature grad of layer 0 is never consumed — skip it; for
+                # i > 0 chain through dropout (mask multiply) and relu.
+                gh = np.matmul(gs, layer.weight.data.T, out=self._grad_in[i])
+                if self._keeps[i] is not None:
+                    np.multiply(gh, self._keeps[i], out=gh)
+                np.greater(self._preacts[i - 1], 0, out=self._posmask[i - 1])
+                g = np.multiply(gh, self._posmask[i - 1], out=gh)
+
+    def eval_forward(self) -> np.ndarray:
+        layers = self.model.layers
+        h = self.features
+        for i, layer in enumerate(layers):
+            if i > 0:
+                h = np.maximum(h, 0.0, out=self._act[i])
+            support = np.matmul(h, layer.weight.data, out=self._support[i])
+            h = self.matrix @ support
+            h = h + layer.bias.data
+        return h
+
+    def deferred_eval_forward(self) -> np.ndarray:
+        """Eval logits for the weights the LAST ``train_forward`` used.
+
+        Dropout only applies to inputs of layers > 0, so layer 0's training
+        output is already the eval-mode one — reuse it and recompute just
+        the (hidden-dim-cheap) tail without dropout, skipping the dominant
+        ``X @ W⁰`` GEMM.  Valid only right after ``train_forward`` (the
+        trainer's deferred-validation protocol guarantees that).
+        """
+        layers = self.model.layers
+        last = len(layers) - 1
+        h = self._preacts[0]
+        for i in range(1, len(layers)):
+            layer = layers[i]
+            if i == 1:
+                # train_forward already computed relu(preacts[0]) into
+                # _act[1] (pre-dropout), and backward never reads it —
+                # reuse instead of recomputing the activation.
+                a = self._act[1]
+            else:
+                a = np.maximum(h, 0.0, out=self._act[i])
+            support = np.matmul(a, layer.weight.data, out=self._support[i])
+            if i < last:
+                h = self.matrix @ support
+                h = h + layer.bias.data
+            else:
+                h = _spmm_fresh(self.matrix, support)
+                np.add(h, layer.bias.data, out=h)
+        return h
+
+
+class _FusedSGC:
+    """Closed-form kernel for SGC: ``softmax(A_n^K X W + b)`` training.
+
+    Propagation goes through the model's own ``_propagated`` memo so the
+    ``propagation_count`` bookkeeping (and cross-engine memo sharing) is
+    identical to the autodiff path.
+    """
+
+    def __init__(self, model: SGC, adjacency: sp.spmatrix, graph) -> None:
+        self.model = model
+        self.adjacency = adjacency
+        self.features = Tensor(graph.features)
+        n = self.features.shape[0]
+        self.loss = _MaskedCrossEntropy(
+            graph.labels, graph.train_mask, (n, model.weight.shape[1])
+        )
+        self._grad_w = np.empty(model.weight.shape)
+        self._grad_b = np.empty(model.bias.shape)
+        self._prop: Optional[np.ndarray] = None
+
+    def train_forward(self) -> tuple[float, np.ndarray]:
+        model = self.model
+        self._prop = model._propagated(self.adjacency, self.features).data
+        logits = self._prop @ model.weight.data + model.bias.data
+        return self.loss.forward(logits), logits
+
+    def backward(self) -> None:
+        model = self.model
+        g = self.loss.backward()
+        model.bias.grad = np.sum(g, axis=0, out=self._grad_b)
+        model.weight.grad = np.matmul(self._prop.T, g, out=self._grad_w)
+
+    def eval_forward(self) -> np.ndarray:
+        model = self.model
+        prop = model._propagated(self.adjacency, self.features).data
+        return prop @ model.weight.data + model.bias.data
+
+
+class _FusedMultiView:
+    """Closed-form kernel for GNAT's shared-weight multi-view GCN.
+
+    Replicates :class:`MultiViewForward` bit for bit.  ``X @ W⁰`` is
+    computed once per epoch and shared across views (the views differ only
+    in the propagation operator, so the per-view autodiff recomputations
+    are value-identical).  Backward runs each view's chain independently,
+    then folds the per-view parameter gradients in *reverse* view order —
+    the order autodiff's topological sweep accumulates them in, which
+    matters because float addition is not associative.
+    """
+
+    def __init__(self, model: GCN, operators: Sequence[sp.spmatrix], graph) -> None:
+        self.model = model
+        self.operators = [op.tocsr() for op in operators]
+        self.operators_t = [op.T.tocsr() for op in self.operators]
+        self.features = np.asarray(graph.features, dtype=np.float64)
+        layers = model.layers
+        n = self.features.shape[0]
+        views = len(self.operators)
+        self.inv_views = 1.0 / float(views)
+        self.loss = _MaskedCrossEntropy(
+            graph.labels, graph.train_mask, (n, layers[-1].weight.shape[1])
+        )
+        self._support0 = np.empty((n, layers[0].weight.shape[1]))
+        self._support = [None] + [
+            np.empty((n, l.weight.shape[1])) for l in layers[1:]
+        ]
+        self._grad_in = [None] + [
+            np.empty((n, l.weight.shape[0])) for l in layers[1:]
+        ]
+        self._inputs = [[None] * len(layers) for _ in range(views)]
+        self._preacts = [[None] * len(layers) for _ in range(views)]
+        self._keeps = [[None] * len(layers) for _ in range(views)]
+        self._probs: list[Optional[np.ndarray]] = [None] * views
+        self._t2: Optional[np.ndarray] = None
+
+    def _view_logits(self, view: int, support0: np.ndarray, training: bool) -> np.ndarray:
+        model = self.model
+        layers = model.layers
+        op = self.operators[view]
+        rate = model.dropout
+        rng = model._dropout_rng
+        last = len(layers) - 1
+        h = op @ support0
+        h = h + layers[0].bias.data
+        if 0 < last:
+            self._preacts[view][0] = h
+        for i in range(1, len(layers)):
+            layer = layers[i]
+            a = np.maximum(h, 0.0)
+            if training and rate > 0.0:
+                keep = (rng.random(a.shape) >= rate).astype(np.float64) / (1.0 - rate)
+                x = a * keep
+            else:
+                keep, x = None, a
+            self._keeps[view][i] = keep
+            self._inputs[view][i] = x
+            support = np.matmul(x, layer.weight.data, out=self._support[i])
+            h = op @ support
+            h = h + layer.bias.data
+            if i < last:
+                self._preacts[view][i] = h
+        return h
+
+    def _forward(self, training: bool) -> np.ndarray:
+        support0 = np.matmul(
+            self.features, self.model.layers[0].weight.data, out=self._support0
+        )
+        probs: Optional[np.ndarray] = None
+        for view in range(len(self.operators)):
+            z = self._view_logits(view, support0, training)
+            shifted = np.exp(z - z.max(axis=1, keepdims=True))
+            p = shifted / shifted.sum(axis=1, keepdims=True)
+            self._probs[view] = p
+            probs = p if probs is None else probs + p
+        t2 = probs * self.inv_views + 1e-12
+        self._t2 = t2
+        return np.log(t2)
+
+    def train_forward(self) -> tuple[float, np.ndarray]:
+        logits = self._forward(training=True)
+        return self.loss.forward(logits), logits
+
+    def backward(self) -> None:
+        model = self.model
+        layers = model.layers
+        depth = len(layers)
+        views = len(self.operators)
+        dlogits = self.loss.backward()
+        dt2 = dlogits / self._t2
+        dprobs = dt2 * self.inv_views
+        w_parts = [[None] * depth for _ in range(views)]
+        b_parts = [[None] * depth for _ in range(views)]
+        for view in range(views):
+            op_t = self.operators_t[view]
+            p = self._probs[view]
+            inner = (dprobs * p).sum(axis=1, keepdims=True)
+            g = p * (dprobs - inner)
+            for i in range(depth - 1, 0, -1):
+                layer = layers[i]
+                b_parts[view][i] = g.sum(axis=0)
+                gs = op_t @ g
+                w_parts[view][i] = self._inputs[view][i].T @ gs
+                gh = np.matmul(gs, layer.weight.data.T, out=self._grad_in[i])
+                if self._keeps[view][i] is not None:
+                    np.multiply(gh, self._keeps[view][i], out=gh)
+                g = gh * (self._preacts[view][i - 1] > 0)
+            b_parts[view][0] = g.sum(axis=0)
+            gs0 = op_t @ g
+            w_parts[view][0] = self.features.T @ gs0
+        # Reverse-view left fold = autodiff's accumulation order.
+        for i in range(depth):
+            w_acc = w_parts[views - 1][i]
+            b_acc = b_parts[views - 1][i]
+            for view in range(views - 2, -1, -1):
+                w_acc = w_acc + w_parts[view][i]
+                b_acc = b_acc + b_parts[view][i]
+            layers[i].weight.grad = w_acc
+            layers[i].bias.grad = b_acc
+
+    def eval_forward(self) -> np.ndarray:
+        return self._forward(training=False)
+
+    def deferred_eval_forward(self) -> np.ndarray:
+        """Eval logits for the weights the LAST ``train_forward`` used.
+
+        Each view's layer-0 output carries no dropout, so the training
+        forward already computed the eval-mode one — recompute only the
+        hidden-dim tails, skipping the shared ``X @ W⁰`` GEMM *and* every
+        view's first sparse propagation.
+        """
+        layers = self.model.layers
+        probs: Optional[np.ndarray] = None
+        for view in range(len(self.operators)):
+            op = self.operators[view]
+            h = self._preacts[view][0]
+            for i in range(1, len(layers)):
+                layer = layers[i]
+                a = np.maximum(h, 0.0)
+                support = np.matmul(a, layer.weight.data, out=self._support[i])
+                h = op @ support
+                h = h + layer.bias.data
+            shifted = np.exp(h - h.max(axis=1, keepdims=True))
+            p = shifted / shifted.sum(axis=1, keepdims=True)
+            probs = p if probs is None else probs + p
+        return np.log(probs * self.inv_views + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def _is_plain_bound_forward(forward: Callable, model) -> bool:
+    """Is ``forward`` exactly the model's own (un-overridden) forward?"""
+    return (
+        getattr(forward, "__self__", None) is model
+        and getattr(forward, "__func__", None) is type(model).forward
+    )
+
+
+def _gcn_fusible(model: GCN) -> bool:
+    return 0.0 <= model.dropout < 1.0 and all(
+        layer.bias is not None for layer in model.layers
+    )
+
+
+def make_fused_kernel(
+    model,
+    graph,
+    adjacency,
+    forward: Callable,
+    loss_fn: Optional[Callable],
+):
+    """Return a fused kernel for this training setup, or None if ineligible.
+
+    Eligibility is deliberately exact-type and exact-forward: subclasses or
+    wrapped forwards may compute anything, so they keep the autodiff path.
+    """
+    if loss_fn is not None:
+        return None
+    if isinstance(forward, MultiViewForward):
+        target = forward.model
+        if target is not model or type(target) is not GCN:
+            return None
+        if not all(sp.issparse(op) for op in forward.operators):
+            return None
+        if not _gcn_fusible(target):
+            return None
+        return _FusedMultiView(target, forward.operators, graph)
+    if not _is_plain_bound_forward(forward, model):
+        return None
+    if not sp.issparse(adjacency):
+        return None
+    if type(model) is GCN:
+        if not _gcn_fusible(model):
+            return None
+        return _FusedGCN(model, adjacency, graph)
+    if type(model) is SGC:
+        return _FusedSGC(model, adjacency, graph)
+    return None
+
+
+def training_matches_eval(model, forward: Callable, loss_fn: Optional[Callable]) -> bool:
+    """True when a train-mode forward is bit-identical to an eval-mode one.
+
+    Holds for models without stochastic layers (SGC always; GCN at dropout
+    0, or with a single layer — dropout only applies to inputs of layers
+    > 0) under their plain forward — the trainer then reuses training
+    logits for validation instead of paying a second full forward per
+    epoch.
+    """
+    if loss_fn is not None:
+        return False
+    if isinstance(forward, MultiViewForward):
+        target = forward.model
+        if target is not model:
+            return False
+    elif _is_plain_bound_forward(forward, model):
+        target = model
+    else:
+        return False
+    if type(target) is SGC:
+        return True
+    return type(target) is GCN and (
+        target.dropout <= 0.0 or len(target.layers) == 1
+    )

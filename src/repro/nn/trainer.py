@@ -4,6 +4,12 @@ Implements the standard transductive protocol from the paper's baselines:
 full-batch Adam on the cross-entropy of labelled training nodes (Eq. 2),
 early stopping on validation accuracy with best-weights restoration.
 
+Two engines drive the per-epoch math (see :mod:`repro.nn.fastpath` and
+``docs/fast_training.md``): the general autodiff path, and a fused
+closed-form path for plain GCN/SGC/multi-view-GCN forwards that produces a
+bit-identical weight trajectory several times faster.  ``engine="auto"``
+(the default) picks the fused path whenever it applies.
+
 A non-finite training loss (NaN/±inf) raises
 :class:`~repro.errors.DivergenceError` before the optimizer steps, restoring
 the best-validation checkpoint when early stopping has one — the trial
@@ -24,6 +30,7 @@ from ..graph import Graph, gcn_normalize
 from ..tensor import Adam, Tensor, functional as F, no_grad
 from ..utils import faults
 from ..utils.rng import SeedLike
+from .fastpath import make_fused_kernel, resolve_engine, training_matches_eval
 from .metrics import accuracy
 from .module import Module
 
@@ -89,6 +96,7 @@ def train_node_classifier(
     adjacency: Optional[AdjacencyLike] = None,
     forward: Optional[ForwardFn] = None,
     loss_fn: Optional[Callable[[Tensor], Tensor]] = None,
+    engine: Optional[str] = None,
 ) -> TrainResult:
     """Train ``model`` transductively on ``graph``.
 
@@ -103,10 +111,18 @@ def train_node_classifier(
         of ``graph.adjacency``.  Defenders pass their purified/augmented
         operators here.
     forward:
-        Forward-function override (used by multi-view defenders like GNAT).
+        Forward-function override (used by multi-view defenders like GNAT,
+        via :class:`~repro.nn.MultiViewForward`).
     loss_fn:
         Optional extra penalty added to the cross-entropy, taking the logits
         tensor (used by RGCN's KL term and SimPGCN's SSL term).
+    engine:
+        ``"auto"`` fuses eligible forwards (plain GCN/SGC over sparse
+        operators, multi-view GCN, no ``loss_fn``) into closed-form kernels
+        with bit-identical trajectories; ``"fused"`` requires fusion (raises
+        :class:`~repro.errors.ConfigError` when ineligible); ``"autodiff"``
+        forces the traced path.  ``None`` defers to ``$REPRO_ENGINE``,
+        defaulting to ``"auto"``.
 
     Returns
     -------
@@ -125,20 +141,93 @@ def train_node_classifier(
     forward = forward or model.forward  # type: ignore[attr-defined]
     optimizer = Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
 
+    engine_name = resolve_engine(engine)
+    kernel = None
+    if engine_name != "autodiff":
+        kernel = make_fused_kernel(model, graph, adjacency, forward, loss_fn)
+        if kernel is None and engine_name == "fused":
+            raise ConfigError(
+                "engine='fused' requires a plain GCN/SGC forward over sparse "
+                "operators (or a MultiViewForward) with no extra loss_fn; "
+                "use engine='auto' to fall back to autodiff"
+            )
+    # Deterministic-forward models (no dropout, no stochastic loss term):
+    # a train-mode forward is bit-identical to an eval-mode one, so epoch
+    # t's validation logits equal epoch t+1's training logits — reuse them
+    # instead of paying a separate validation forward per epoch.
+    reuse_train_logits = training_matches_eval(model, forward, loss_fn)
+    # Stochastic fused kernels can't reuse training logits, but they CAN
+    # defer: dropout never touches layer 0, so epoch t's validation logits
+    # are a cheap eval-mode tail on top of epoch t+1's training forward
+    # (same post-step weights the separate validation forward used).
+    deferred_eval = (
+        None
+        if kernel is None or reuse_train_logits
+        else getattr(kernel, "deferred_eval_forward", None)
+    )
+
     result = TrainResult(model=model, best_val_accuracy=-1.0, test_accuracy=0.0)
     best_state = model.state_dict()
-    best_logits: Optional[Tensor] = None
+    best_logits: Optional[np.ndarray] = None
     stall = 0
+
+    def record_validation(epoch: int, val_logits: np.ndarray) -> bool:
+        """Book-keep one epoch's validation; True means early-stop now."""
+        nonlocal best_state, best_logits, stall
+        val_acc = accuracy(val_logits, graph.labels, graph.val_mask)
+        result.val_accuracies.append(val_acc)
+        result.epochs_run = epoch + 1
+        if val_acc > result.best_val_accuracy:
+            result.best_val_accuracy = val_acc
+            best_state = model.state_dict()
+            best_logits = val_logits
+            stall = 0
+        else:
+            stall += 1
+            if stall >= config.patience:
+                return True
+        if config.verbose and epoch % 20 == 0:
+            print(
+                f"epoch {epoch}: loss={result.train_losses[epoch]:.4f} "
+                f"val_acc={val_acc:.4f}"
+            )
+        return False
+
+    def validation_logits() -> np.ndarray:
+        model.eval()
+        if kernel is not None:
+            return kernel.eval_forward()
+        with no_grad():
+            return forward(adjacency, features).data
+
+    # With logits reuse, validation of epoch t settles at epoch t+1 (whose
+    # training forward runs on the post-step weights of epoch t — exactly
+    # what the separate validation forward used to compute).
+    pending_epoch: Optional[int] = None
 
     for epoch in range(config.epochs):
         model.train()
         optimizer.zero_grad()
         faults.perturb("trainer", epoch=epoch)
-        logits = forward(adjacency, features)
-        loss = F.cross_entropy(logits, graph.labels, graph.train_mask)
-        if loss_fn is not None:
-            loss = loss + loss_fn(logits)
-        loss_value = faults.corrupt("trainer", float(loss.item()), epoch=epoch)
+        if kernel is not None:
+            loss_raw, logits_data = kernel.train_forward()
+            loss = None
+        else:
+            logits = forward(adjacency, features)
+            loss = F.cross_entropy(logits, graph.labels, graph.train_mask)
+            if loss_fn is not None:
+                loss = loss + loss_fn(logits)
+            loss_raw = float(loss.item())
+            logits_data = logits.data
+        if pending_epoch is not None:
+            stop = record_validation(
+                pending_epoch,
+                logits_data if reuse_train_logits else deferred_eval(),
+            )
+            pending_epoch = None
+            if stop:
+                break
+        loss_value = faults.corrupt("trainer", loss_raw, epoch=epoch)
         if not np.isfinite(loss_value):
             # Divergence is unrecoverable for this run: raise instead of
             # silently training on garbage, but restore the best-validation
@@ -160,34 +249,28 @@ def train_node_classifier(
                 recovered=recovered,
                 best_val_accuracy=result.best_val_accuracy,
             )
-        loss.backward()
+        if kernel is not None:
+            kernel.backward()
+        else:
+            loss.backward()
         optimizer.step()
         result.train_losses.append(loss_value)
 
-        model.eval()
-        with no_grad():
-            val_logits = forward(adjacency, features)
-        val_acc = accuracy(val_logits, graph.labels, graph.val_mask)
-        result.val_accuracies.append(val_acc)
-        result.epochs_run = epoch + 1
+        if reuse_train_logits or deferred_eval is not None:
+            pending_epoch = epoch
+            continue
+        if record_validation(epoch, validation_logits()):
+            break
 
-        if val_acc > result.best_val_accuracy:
-            result.best_val_accuracy = val_acc
-            best_state = model.state_dict()
-            best_logits = val_logits
-            stall = 0
-        else:
-            stall += 1
-            if stall >= config.patience:
-                break
-        if config.verbose and epoch % 20 == 0:
-            print(f"epoch {epoch}: loss={loss.item():.4f} val_acc={val_acc:.4f}")
+    if pending_epoch is not None:
+        # The final epoch's validation never got a follow-up training
+        # forward; pay the one eval forward it needs.
+        record_validation(pending_epoch, validation_logits())
 
+    model.eval()
     model.load_state_dict(best_state)
     if best_logits is None:  # unreachable with epochs >= 1; kept for safety
-        model.eval()
-        with no_grad():
-            best_logits = forward(adjacency, features)
+        best_logits = validation_logits()
     # Eval-mode forwards are pure functions of (weights, adjacency,
     # features), so the best epoch's validation logits ARE the logits the
     # restored model would produce — reuse them instead of paying one more

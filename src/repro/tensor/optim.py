@@ -92,17 +92,36 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Step-reused scratch: Adam's update is ~10 temporaries per
+        # parameter per step in its naive spelling, and the allocations
+        # dominate its cost for GCN-sized parameters.  The buffered update
+        # below runs the exact same operations in the same order (bitwise
+        # identical trajectories), just into preallocated memory.
+        self._scratch_a = [np.empty_like(p.data) for p in self.params]
+        self._scratch_b = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for param, m, v in zip(self.params, self._m, self._v):
-            grad = self._grad(param)
+        for param, m, v, buf_a, buf_b in zip(
+            self.params, self._m, self._v, self._scratch_a, self._scratch_b
+        ):
+            grad = param.grad if param.grad is not None else np.zeros_like(param.data)
+            if self.weight_decay:
+                # grad + weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=buf_a)
+                grad = np.add(grad, buf_a, out=buf_a)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += np.multiply(grad, 1.0 - self.beta1, out=buf_b)
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # (1 - beta2) * grad * grad, associated left-to-right
+            np.multiply(grad, 1.0 - self.beta2, out=buf_b)
+            v += np.multiply(buf_b, grad, out=buf_b)
+            m_hat = np.divide(m, bias1, out=buf_b)  # grad no longer read
+            v_hat = np.divide(v, bias2, out=buf_a)
+            np.sqrt(v_hat, out=buf_a)
+            np.add(buf_a, self.eps, out=buf_a)
+            # lr * m_hat / (sqrt(v_hat) + eps), associated left-to-right
+            np.multiply(m_hat, self.lr, out=buf_b)
+            param.data -= np.divide(buf_b, buf_a, out=buf_b)

@@ -1,0 +1,420 @@
+"""Fused training engine: bit-identity, dispatch, gradients, and caching.
+
+The fused kernels (:mod:`repro.nn.fastpath`) promise *bit-identical* weight
+trajectories to the autodiff engine — not approximately equal, equal to the
+last ULP.  These tests pin that promise across the whole fusible family
+(GCN depths 1-4 with and without dropout, SGC, every GNAT view subset in
+both merged and multi-view form), verify the closed-form backward against
+finite differences, check that ineligible setups fall back (or refuse)
+exactly as documented, and exercise the sweep-wide view-operator cache's
+content-addressed invalidation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import GNAT
+from repro.errors import ConfigError
+from repro.graph import gcn_normalize
+from repro.graph.viewcache import (
+    array_fingerprint,
+    cached_operator,
+    clear_view_cache,
+    csr_fingerprint,
+    view_cache_stats,
+)
+from repro.nn import (
+    GAT,
+    GCN,
+    SGC,
+    MultiViewForward,
+    TrainConfig,
+    train_node_classifier,
+)
+from repro.nn.fastpath import (
+    ENGINES,
+    make_fused_kernel,
+    resolve_engine,
+    training_matches_eval,
+)
+
+CONFIG = TrainConfig(epochs=30, patience=10)
+
+
+def outcome(result):
+    return (
+        result.train_losses,
+        result.val_accuracies,
+        result.best_val_accuracy,
+        result.test_accuracy,
+        result.epochs_run,
+    )
+
+
+def assert_same_weights(model_a, model_b):
+    for left, right in zip(model_a.state_dict(), model_b.state_dict()):
+        assert np.array_equal(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: fused vs autodiff walk the same trajectory
+
+
+class TestGCNBitIdentity:
+    @pytest.mark.parametrize("num_layers", [1, 2, 3, 4])
+    @pytest.mark.parametrize("dropout", [0.0, 0.5])
+    def test_trajectory_identical(self, small_cora, num_layers, dropout):
+        results = {}
+        for engine in ("autodiff", "fused"):
+            model = GCN(
+                small_cora.num_features,
+                small_cora.num_classes,
+                hidden_dim=8,
+                num_layers=num_layers,
+                dropout=dropout,
+                seed=42,
+            )
+            results[engine] = train_node_classifier(
+                model, small_cora, CONFIG, engine=engine
+            )
+        assert outcome(results["autodiff"]) == outcome(results["fused"])
+        assert_same_weights(results["autodiff"].model, results["fused"].model)
+
+    def test_auto_equals_fused(self, small_cora):
+        results = {}
+        for engine in ("auto", "fused"):
+            model = GCN(
+                small_cora.num_features, small_cora.num_classes, seed=3
+            )
+            results[engine] = train_node_classifier(
+                model, small_cora, CONFIG, engine=engine
+            )
+        assert outcome(results["auto"]) == outcome(results["fused"])
+
+
+class TestSGCBitIdentity:
+    def test_trajectory_identical(self, small_cora):
+        results = {}
+        for engine in ("autodiff", "fused"):
+            model = SGC(small_cora.num_features, small_cora.num_classes, seed=9)
+            results[engine] = train_node_classifier(
+                model, small_cora, CONFIG, engine=engine
+            )
+        assert outcome(results["autodiff"]) == outcome(results["fused"])
+        assert_same_weights(results["autodiff"].model, results["fused"].model)
+
+
+class TestGNATBitIdentity:
+    @pytest.mark.parametrize("views", ["tfe", "t", "f", "e", "tf"])
+    @pytest.mark.parametrize("merged", [False, True])
+    def test_fit_identical(self, small_cora, views, merged):
+        accuracies = {}
+        for engine in ("autodiff", "fused"):
+            clear_view_cache()
+            defender = GNAT(
+                views=views,
+                merge_views=merged,
+                train_config=CONFIG,
+                engine=engine,
+                seed=5,
+            )
+            result = defender.fit(small_cora)
+            accuracies[engine] = (result.test_accuracy, result.val_accuracy)
+        assert accuracies["autodiff"] == accuracies["fused"]
+
+    def test_multi_view_weights_identical(self, small_cora):
+        """Direct trainer-level check with weight access (3-view GNAT math)."""
+        operators = [
+            gcn_normalize(small_cora.adjacency),
+            gcn_normalize(sp.eye(small_cora.num_nodes, format="csr")),
+        ]
+        results = {}
+        for engine in ("autodiff", "fused"):
+            model = GCN(
+                small_cora.num_features, small_cora.num_classes, seed=17
+            )
+            results[engine] = train_node_classifier(
+                model,
+                small_cora,
+                CONFIG,
+                adjacency=operators[0],
+                forward=MultiViewForward(model, operators),
+                engine=engine,
+            )
+        assert outcome(results["autodiff"]) == outcome(results["fused"])
+        assert_same_weights(results["autodiff"].model, results["fused"].model)
+
+
+# ---------------------------------------------------------------------------
+# Gradcheck: the closed-form backward against finite differences
+
+
+def _numeric_check(kernel, params, atol=1e-5, rtol=1e-4, eps=1e-6):
+    """Central-difference check of every parameter grad of a fused kernel."""
+    kernel.train_forward()
+    kernel.backward()
+    analytic = [np.array(p.grad, copy=True) for p in params]
+    for param, grad in zip(params, analytic):
+        flat = param.data.reshape(-1)
+        numeric = np.zeros_like(flat)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus, _ = kernel.train_forward()
+            flat[i] = original - eps
+            minus, _ = kernel.train_forward()
+            flat[i] = original
+            numeric[i] = (plus - minus) / (2.0 * eps)
+        assert np.allclose(grad.reshape(-1), numeric, atol=atol, rtol=rtol), (
+            f"max abs diff {np.max(np.abs(grad.reshape(-1) - numeric)):.3e}"
+        )
+
+
+class TestGradcheck:
+    def test_fused_gcn_backward(self, tiny_graph):
+        model = GCN(
+            tiny_graph.num_features,
+            tiny_graph.num_classes,
+            hidden_dim=5,
+            num_layers=3,
+            dropout=0.0,  # deterministic forward, required for differencing
+            seed=1,
+        )
+        adjacency = gcn_normalize(tiny_graph.adjacency)
+        kernel = make_fused_kernel(
+            model, tiny_graph, adjacency, model.forward, None
+        )
+        assert kernel is not None
+        _numeric_check(kernel, list(model.parameters()))
+
+    def test_fused_multiview_backward(self, tiny_graph):
+        model = GCN(
+            tiny_graph.num_features,
+            tiny_graph.num_classes,
+            hidden_dim=5,
+            dropout=0.0,
+            seed=2,
+        )
+        operators = [
+            gcn_normalize(tiny_graph.adjacency),
+            gcn_normalize(sp.eye(tiny_graph.num_nodes, format="csr")),
+        ]
+        forward = MultiViewForward(model, operators)
+        kernel = make_fused_kernel(model, tiny_graph, operators[0], forward, None)
+        assert kernel is not None
+        _numeric_check(kernel, list(model.parameters()))
+
+
+# ---------------------------------------------------------------------------
+# Dispatch: what fuses, what falls back, what refuses
+
+
+class TestDispatch:
+    def test_gat_not_fusible(self, tiny_graph):
+        model = GAT(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
+        adjacency = gcn_normalize(tiny_graph.adjacency)
+        assert make_fused_kernel(model, tiny_graph, adjacency, model.forward, None) is None
+        with pytest.raises(ConfigError, match="engine='fused'"):
+            train_node_classifier(
+                model, tiny_graph, CONFIG, engine="fused"
+            )
+        # auto silently falls back and still trains.
+        result = train_node_classifier(model, tiny_graph, CONFIG, engine="auto")
+        assert result.epochs_run > 0
+
+    def test_extra_loss_fn_not_fusible(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
+        adjacency = gcn_normalize(tiny_graph.adjacency)
+        loss_fn = lambda logits: (logits * 0.0).sum()  # noqa: E731
+        assert (
+            make_fused_kernel(model, tiny_graph, adjacency, model.forward, loss_fn)
+            is None
+        )
+
+    def test_dense_adjacency_not_fusible(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
+        dense = gcn_normalize(tiny_graph.adjacency).toarray()
+        assert make_fused_kernel(model, tiny_graph, dense, model.forward, None) is None
+
+    def test_subclass_not_fusible(self, tiny_graph):
+        class TweakedGCN(GCN):
+            pass
+
+        model = TweakedGCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
+        adjacency = gcn_normalize(tiny_graph.adjacency)
+        assert make_fused_kernel(model, tiny_graph, adjacency, model.forward, None) is None
+
+    def test_wrapped_forward_not_fusible(self, tiny_graph):
+        model = GCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
+        adjacency = gcn_normalize(tiny_graph.adjacency)
+        wrapped = lambda adj, x: model.forward(adj, x)  # noqa: E731
+        assert make_fused_kernel(model, tiny_graph, adjacency, wrapped, None) is None
+
+    def test_training_matches_eval_rules(self, tiny_graph):
+        deterministic = GCN(tiny_graph.num_features, tiny_graph.num_classes, dropout=0.0)
+        stochastic = GCN(tiny_graph.num_features, tiny_graph.num_classes, dropout=0.5)
+        single = GCN(
+            tiny_graph.num_features, tiny_graph.num_classes, num_layers=1, dropout=0.5
+        )
+        sgc = SGC(tiny_graph.num_features, tiny_graph.num_classes)
+        assert training_matches_eval(deterministic, deterministic.forward, None)
+        assert not training_matches_eval(stochastic, stochastic.forward, None)
+        # Dropout only applies to inputs of layers > 0: L=1 is deterministic.
+        assert training_matches_eval(single, single.forward, None)
+        assert training_matches_eval(sgc, sgc.forward, None)
+        assert not training_matches_eval(
+            deterministic, deterministic.forward, lambda logits: logits.sum()
+        )
+
+
+class TestResolveEngine:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine(None) == "auto"
+
+    def test_env_var_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "autodiff")
+        assert resolve_engine(None) == "autodiff"
+        # An explicit argument wins over the environment.
+        assert resolve_engine("fused") == "fused"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError, match="engine"):
+            resolve_engine("turbo")
+
+    def test_engine_list(self):
+        assert set(ENGINES) == {"auto", "fused", "autodiff"}
+
+
+# ---------------------------------------------------------------------------
+# View-operator cache: content-addressed hits, misses, and invalidation
+
+
+class TestViewCache:
+    def setup_method(self):
+        clear_view_cache()
+
+    def teardown_method(self):
+        clear_view_cache()
+
+    def test_hit_and_miss_counting(self):
+        features = np.arange(12.0).reshape(4, 3)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return sp.eye(4, format="csr")
+
+        key = array_fingerprint(features)
+        cached_operator("test", key, build)
+        cached_operator("test", key, build)
+        assert len(calls) == 1
+        stats = view_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_mutation_invalidates_by_changing_key(self):
+        features = np.arange(12.0).reshape(4, 3)
+        before = array_fingerprint(features)
+        features[0, 0] = -1.0  # in-place mutation, same object
+        after = array_fingerprint(features)
+        assert before != after
+        adjacency = sp.eye(4, format="csr")
+        sparse_before = csr_fingerprint(adjacency)
+        adjacency.data[0] = 2.0
+        assert csr_fingerprint(adjacency) != sparse_before
+
+    def test_entries_are_copies(self):
+        key = ("isolated",)
+        first = cached_operator("test", key, lambda: sp.eye(3, format="csr"))
+        first.data[:] = 99.0
+        second = cached_operator("test", key, lambda: sp.eye(3, format="csr"))
+        assert second.data[0] == 1.0  # the cache entry was not poisoned
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VIEW_CACHE", "0")
+        calls = []
+
+        def build():
+            calls.append(1)
+            return sp.eye(2, format="csr")
+
+        cached_operator("test", ("off",), build)
+        cached_operator("test", ("off",), build)
+        assert len(calls) == 2
+
+
+# ---------------------------------------------------------------------------
+# CLI: --engine is parsed, exported, and engine-independent in output
+
+
+class TestCliEngineFlag:
+    def test_parser_accepts_engine(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["defend", "GCN", "--engine", "fused"])
+        assert args.engine == "fused"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["defend", "GCN", "--engine", "turbo"])
+
+    def test_defend_output_engine_independent(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        graph_path = tmp_path / "g.npz"
+        assert (
+            main(
+                ["dataset", "cora", "--scale", "0.05", "--seed", "1", "--out", str(graph_path)]
+            )
+            == 0
+        )
+        capsys.readouterr()  # drain the dataset command's output
+        outputs = {}
+        for engine in ("autodiff", "fused"):
+            monkeypatch.delenv("REPRO_ENGINE", raising=False)
+            assert (
+                main(
+                    [
+                        "defend", "GCN", "--graph", str(graph_path),
+                        "--seeds", "1", "--engine", engine,
+                    ]
+                )
+                == 0
+            )
+            # The flag is exported so pool workers inherit it.
+            import os
+
+            assert os.environ["REPRO_ENGINE"] == engine
+            outputs[engine] = capsys.readouterr().out
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert outputs["autodiff"] == outputs["fused"]
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration: journals are engine- and jobs-independent
+
+
+class TestSweepEquivalence:
+    def test_journals_identical_across_engines_and_jobs(self, tmp_path, monkeypatch):
+        from tests.test_parallel_sweep import cells_of, journal_records, run_sweep
+        from repro.experiments import SweepCheckpoint
+
+        # engine="auto" (not "fused"): a sweep mixes fusible trainers with
+        # ineligible ones (GCN-SVD trains over a dense low-rank operator),
+        # and auto is the mode that must route each to the right path with
+        # identical journals.
+        runs = {}
+        for label, engine, jobs in (
+            ("autodiff-serial", "autodiff", 1),
+            ("auto-serial", "auto", 1),
+            ("auto-parallel", "auto", 2),
+        ):
+            monkeypatch.setenv("REPRO_ENGINE", engine)
+            clear_view_cache()
+            workdir = tmp_path / label
+            table, _, _ = run_sweep(jobs=jobs, checkpoint=SweepCheckpoint(workdir))
+            runs[label] = (cells_of(table), journal_records(workdir))
+
+        assert runs["autodiff-serial"] == runs["auto-serial"]
+        assert runs["auto-serial"] == runs["auto-parallel"]
