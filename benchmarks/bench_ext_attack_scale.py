@@ -1,0 +1,110 @@
+"""Extension bench — sampled-block attacks (PRBCD/GRBCD) at SBM scale tiers.
+
+Dense PEEGA materializes an n x n gradient per step, which caps it near
+10^4 nodes.  The block attackers score only a sampled candidate block
+through the O(block) pair kernel, so attack cost is governed by the block
+size and the budget, not by n^2.  This bench generates the streamed SBM
+tiers, runs both attackers on each, and records the headline wall-times in
+``benchmarks/results/BENCH_attack_scale.json`` (the CI scale-smoke job's
+regression artifact: it diffs the key schema and gates on wall-time
+ratios against the committed baseline).
+
+``REPRO_BENCH_QUICK=1`` (CI smoke mode) shrinks epochs/budgets so the
+100k-node tier finishes inside the smoke deadline.  The 1M tier is heavy
+(~2 GB RSS, minutes of wall time) and only runs when ``REPRO_BENCH_1M=1``
+is set explicitly; the committed baseline therefore carries the 10k and
+100k tiers.
+"""
+
+import json
+import os
+import time
+
+from _util import RESULTS_DIR, emit, run_once
+
+from repro.attacks import GRBCD, PRBCD
+from repro.attacks.base import AttackBudget
+from repro.datasets import load_dataset
+from repro.experiments import format_series
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+WITH_1M = bool(os.environ.get("REPRO_BENCH_1M"))
+
+# Per-tier knobs: (budget, prbcd_epochs, grbcd_flips_per_step, block_size).
+TIERS = {
+    "sbm-10k": (100, 3 if QUICK else 10, 25, 50_000),
+    "sbm-100k": (200 if QUICK else 500, 3 if QUICK else 5, 100, 200_000),
+}
+if WITH_1M:
+    TIERS["sbm-1m"] = (300, 3, 150, 300_000)
+
+
+def _attack_tier(name, budget, prbcd_epochs, grbcd_flips, block_size):
+    start = time.perf_counter()
+    graph = load_dataset(name, seed=0)
+    generate_seconds = time.perf_counter() - start
+
+    attackers = {
+        "PRBCD": PRBCD(
+            lam=0.0, p=2, block_size=block_size, epochs=prbcd_epochs, seed=0
+        ),
+        "GRBCD": GRBCD(
+            lam=0.0, p=2, block_size=block_size, flips_per_step=grbcd_flips,
+            seed=0,
+        ),
+    }
+    attacks = {}
+    for attacker_name, attacker in attackers.items():
+        result = attacker.attack(graph, AttackBudget(total=float(budget)))
+        result.verify_budget()
+        best = max(result.objective_trace) if result.objective_trace else 0.0
+        attacks[attacker_name] = {
+            "wall_seconds": result.runtime_seconds,
+            "flips": len(result.edge_flips),
+            "best_objective": best,
+        }
+        assert attacks[attacker_name]["flips"] > 0, (
+            f"{attacker_name} committed no flips on {name}"
+        )
+        assert best > 0.0, f"{attacker_name} did not move the objective on {name}"
+    return {
+        "nodes": graph.num_nodes,
+        "edges": int(graph.adjacency.nnz // 2),
+        "budget": budget,
+        "generate_seconds": generate_seconds,
+        "attacks": attacks,
+    }
+
+
+def test_ext_attack_scale(benchmark):
+    def run():
+        return {
+            name: _attack_tier(name, *knobs) for name, knobs in TIERS.items()
+        }
+
+    tiers = run_once(benchmark, run)
+
+    rows = []
+    series = {"generate s": [], "PRBCD s": [], "GRBCD s": []}
+    for name, record in tiers.items():
+        rows.append(f"{name} (n={record['nodes']}, m={record['edges']})")
+        series["generate s"].append(record["generate_seconds"])
+        series["PRBCD s"].append(record["attacks"]["PRBCD"]["wall_seconds"])
+        series["GRBCD s"].append(record["attacks"]["GRBCD"]["wall_seconds"])
+    text = format_series(
+        "tier",
+        rows,
+        series,
+        percent=False,
+        title=(
+            "Extension — sampled-block attacks at SBM scale "
+            f"(quick={QUICK}, 1M={'on' if WITH_1M else 'off'})"
+        ),
+    )
+    emit("ext_attack_scale", text)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"quick": QUICK, "tiers": tiers}
+    (RESULTS_DIR / "BENCH_attack_scale.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

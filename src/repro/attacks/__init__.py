@@ -10,6 +10,7 @@ from .minmax import MinMaxAttack
 from .nettack import Nettack
 from .pgd import PGDAttack
 from .random_attack import RandomAttack
+from .rbcd import GRBCD, PRBCD
 
 __all__ = [
     "Attacker",
@@ -25,4 +26,6 @@ __all__ = [
     "Nettack",
     "Metattack",
     "GFAttack",
+    "PRBCD",
+    "GRBCD",
 ]

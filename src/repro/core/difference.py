@@ -31,9 +31,11 @@ __all__ = [
     "DifferenceObjective",
     "IncrementalScorer",
     "SparseAttackGradients",
+    "PairAttackGradients",
     "self_view_difference",
     "global_view_difference",
     "sparse_attack_gradients",
+    "pairwise_gemm_dots",
 ]
 
 
@@ -291,6 +293,45 @@ class SparseAttackGradients:
     rows: Optional[np.ndarray]
 
 
+@dataclass(frozen=True)
+class PairAttackGradients:
+    """Closed-form gradients restricted to explicit candidate pairs.
+
+    ``grad_pairs[i]`` is the symmetrized adjacency gradient
+    ``∇_Â[u_i, v_i] + ∇_Â[v_i, u_i]`` for candidate pair ``(u_i, v_i)`` —
+    the same entry of the full :class:`SparseAttackGradients` topology
+    matrix to ~1e-12 relative (see :func:`pairwise_gemm_dots` for why not
+    bitwise), without materializing anything of size O(n²).
+    """
+
+    loss: float
+    grad_pairs: np.ndarray
+    grad_features: Optional[np.ndarray]
+
+
+def pairwise_gemm_dots(a: np.ndarray, b: np.ndarray, chunk: int = 128) -> np.ndarray:
+    """Row-wise dots ``out[i] = ⟨a[i], b[i]⟩`` via chunked-GEMM diagonals.
+
+    A plain ``einsum`` would compute the same values through a very
+    different accumulation order than the BLAS GEMM behind
+    :func:`~repro.tensor.functional.sparse_matmul_grad_matrix`; routing the
+    dots through small GEMM diagonals keeps them on a BLAS reduction and in
+    practice agrees with the full-matrix entries to ~1e-12 relative.  It is
+    *not* bitwise: BLAS picks different micro-kernel tile paths for a
+    ``chunk``-sized GEMM than for the (n, n) product, so a few entries per
+    block differ in the last ulp.  Callers that need exact tie order
+    against the dense oracle (the exhaustive-block attack modes) must score
+    through the full-matrix path instead.  The wasted off-diagonal work is
+    bounded by ``chunk``×.
+    """
+    count = a.shape[0]
+    out = np.empty(count, dtype=np.float64)
+    for lo in range(0, count, chunk):
+        hi = min(lo + chunk, count)
+        out[lo:hi] = np.diagonal(a[lo:hi] @ b[lo:hi].T)
+    return out
+
+
 def sparse_attack_gradients(
     objective: DifferenceObjective,
     cache: PropagationCache,
@@ -469,22 +510,30 @@ class IncrementalScorer:
         self._c: Optional[np.ndarray] = None
         self._row_dots: Optional[np.ndarray] = None
         self._col_dots: Optional[np.ndarray] = None
+        # The pair path maintains the per-node dots without the (n, n)
+        # product C, so their validity is tracked separately from ``_c``.
+        self._dots_valid: bool = False
         # Scratch for the assembled topology gradient — reused across calls
         # so the hot loop does not allocate a fresh (n, n) buffer per flip.
         self._topo_out: Optional[np.ndarray] = None
 
-    def gradients(
-        self,
-        features: np.ndarray,
-        rows: Optional[np.ndarray] = None,
-        need_topology: bool = True,
-        need_features: bool = True,
-    ) -> SparseAttackGradients:
-        """Same contract as :func:`sparse_attack_gradients`, amortized."""
-        objective = self.objective
+    def _refresh_state(
+        self, features: np.ndarray
+    ) -> tuple[
+        bool, bool, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]
+    ]:
+        """Drain the cache's dirty log and patch forward/adjoint/loss state.
+
+        Shared preamble of :meth:`gradients` and :meth:`pair_gradients` —
+        one implementation, so the full-matrix and block-sampled paths score
+        from byte-identical state.  Returns
+        ``(first, any_dirt, an_dirty, feat_dirty, dirty_m, dirty_below,
+        e_levels)`` — the bookkeeping the topology-state patches fan out
+        from.
+        """
         cache = self.cache
         an = cache.normalized  # also verifies the cache binding
-        layers = objective.layers
+        layers = self.objective.layers
         an_dirty, feat_dirty = cache.drain_dirty_rows()
         any_dirt = bool(len(an_dirty) or len(feat_dirty))
         first = self._zs is None
@@ -545,10 +594,29 @@ class IncrementalScorer:
                 if len(e):
                     self._us[k][e] = an[e] @ self._us[k + 1]
                 e_levels[k] = e
+        return first, any_dirt, an_dirty, feat_dirty, dirty_m, dirty_below, e_levels
 
+    def _objective_value(self) -> float:
+        """The objective at the current state, off the persistent loss state."""
         value = float(self._row_values.sum())
         if self._node_glob is not None:
-            value = value + objective.lam * float(self._edge_values.sum())
+            value = value + self.objective.lam * float(self._edge_values.sum())
+        return value
+
+    def gradients(
+        self,
+        features: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+        need_topology: bool = True,
+        need_features: bool = True,
+    ) -> SparseAttackGradients:
+        """Same contract as :func:`sparse_attack_gradients`, amortized."""
+        cache = self.cache
+        layers = self.objective.layers
+        (first, any_dirt, an_dirty, feat_dirty, dirty_m, dirty_below, e_levels) = (
+            self._refresh_state(features)
+        )
+        value = self._objective_value()
 
         grad_features = self._us[0] if need_features else None
         if not need_topology:
@@ -556,6 +624,7 @@ class IncrementalScorer:
                 # Flips arrived while the topology state sat unused; a later
                 # topology request must rebuild rather than patch from stale C.
                 self._c = None
+                self._dots_valid = False
             return SparseAttackGradients(value, None, grad_features, rows)
 
         s = cache.scaling
@@ -571,6 +640,7 @@ class IncrementalScorer:
                 np.einsum("ij,ij->i", us[k - 1], zs[k - 1])
                 for k in range(1, layers + 1)
             )
+            self._dots_valid = True
         elif any_dirt:
             self._patch_topology_state(
                 s, an_dirty, dirty_m, dirty_below, feat_dirty, e_levels
@@ -621,8 +691,9 @@ class IncrementalScorer:
         layers = self.objective.layers
         zs, us = self._zs, self._us
         d = zs[0].shape[1]
-        su_dirty = np.union1d(e_levels[1] if layers > 1 else e_levels[layers], an_dirty)
-        sz_dirty = np.union1d(dirty_below, an_dirty)
+        su_dirty, sz_dirty = self._patch_dot_state(
+            an_dirty, dirty_m, dirty_below, feat_dirty, e_levels
+        )
         if len(su_dirty):
             scale = s[su_dirty][:, None]
             for k in range(1, layers + 1):
@@ -637,6 +708,26 @@ class IncrementalScorer:
             self._c[:, sz_dirty] = sparse_matmul_grad_matrix(
                 self._sz, self._su, sz_dirty
             ).T
+
+    def _patch_dot_state(
+        self,
+        an_dirty: np.ndarray,
+        dirty_m: np.ndarray,
+        dirty_below: np.ndarray,
+        feat_dirty: np.ndarray,
+        e_levels: list[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Refresh the per-node degree-chain dots the flips touched.
+
+        Split out of :meth:`_patch_topology_state` because the pair path
+        maintains *only* the dots (the GEMM factors and ``C`` are full-matrix
+        state it never forms).  Returns the ``su``/``sz`` dirty sets for the
+        caller that also patches the factor buffers.
+        """
+        layers = self.objective.layers
+        zs, us = self._zs, self._us
+        su_dirty = np.union1d(e_levels[1] if layers > 1 else e_levels[layers], an_dirty)
+        sz_dirty = np.union1d(dirty_below, an_dirty)
         rd_dirty = np.union1d(su_dirty, dirty_m)
         if len(rd_dirty):
             self._row_dots[rd_dirty] = sum(
@@ -651,6 +742,106 @@ class IncrementalScorer:
                 np.einsum("ij,ij->i", us[k - 1][cd_dirty], zs[k - 1][cd_dirty])
                 for k in range(1, layers + 1)
             )
+        return su_dirty, sz_dirty
+
+    def pair_gradients(
+        self,
+        features: np.ndarray,
+        pairs_u: np.ndarray,
+        pairs_v: np.ndarray,
+        need_features: bool = False,
+    ) -> PairAttackGradients:
+        """Symmetrized topology gradients at explicit candidate pairs.
+
+        The block-coordinate attackers (PRBCD/GRBCD) score only a sampled
+        set of pairs per iteration; materializing the full ``(n, n)``
+        gradient — or even its GEMM product ``C`` — would defeat the point.
+        This path reuses the scorer's incremental forward/adjoint state and
+        computes, per pair,
+
+            ``∇_Â[u,v] + ∇_Â[v,u] = (C[u,v] + C[v,u]) + dg[u] + dg[v]``
+
+        without forming ``C``: the two entries are row-wise dots of
+        gathered-and-scaled factor rows (:func:`pairwise_gemm_dots`), and
+        the degree-chain term ``dg`` comes from the persistent per-node dot
+        state, patched under the same dirty rules as the full path.  Term
+        order and every elementwise op match the full-matrix assembly; the
+        result agrees with the same entry of :meth:`gradients` to ~1e-12
+        relative (not bitwise — see :func:`pairwise_gemm_dots` — which is
+        why the exhaustive attack modes score via :meth:`gradients`
+        instead; ``tests/test_rbcd_equivalence.py`` locks the tolerance
+        down).
+
+        Cost per call is O(|pairs| · layers · d) plus the incremental
+        refresh — nothing scales with n² — and peak memory is bounded by a
+        fixed pair-slab size.
+        """
+        cache = self.cache
+        layers = self.objective.layers
+        (first, any_dirt, an_dirty, feat_dirty, dirty_m, dirty_below, e_levels) = (
+            self._refresh_state(features)
+        )
+        value = self._objective_value()
+
+        if first or not self._dots_valid:
+            zs, us = self._zs, self._us
+            self._row_dots = sum(
+                np.einsum("ij,ij->i", us[k], zs[k]) for k in range(1, layers + 1)
+            )
+            self._col_dots = sum(
+                np.einsum("ij,ij->i", us[k - 1], zs[k - 1])
+                for k in range(1, layers + 1)
+            )
+            self._dots_valid = True
+        elif any_dirt:
+            self._patch_dot_state(an_dirty, dirty_m, dirty_below, feat_dirty, e_levels)
+        if any_dirt:
+            # The (n, n) product C (if a full-matrix call ever built it) did
+            # not see these flips; force a rebuild on the next full call.
+            self._c = None
+
+        s = cache.scaling
+        zs, us = self._zs, self._us
+        grad_scaling = (self._row_dots + self._col_dots) / s
+        degree_grad = (
+            grad_scaling * (-0.5) * (cache.loop_degrees + NORMALIZE_EPS) ** -1.5
+        )
+
+        uu = np.asarray(pairs_u, dtype=np.int64)
+        vv = np.asarray(pairs_v, dtype=np.int64)
+        count = len(uu)
+        d = zs[0].shape[1]
+        grad_pairs = np.empty(count, dtype=np.float64)
+        # Fixed-size slabs bound peak memory at O(slab · layers · d)
+        # regardless of the block size the attacker asked for.
+        slab = 16384
+        for lo in range(0, count, slab):
+            hi = min(lo + slab, count)
+            su_u = np.empty((hi - lo, layers * d))
+            sz_v = np.empty((hi - lo, layers * d))
+            su_v = np.empty((hi - lo, layers * d))
+            sz_u = np.empty((hi - lo, layers * d))
+            scale_u = s[uu[lo:hi]][:, None]
+            scale_v = s[vv[lo:hi]][:, None]
+            for k in range(1, layers + 1):
+                block = slice((k - 1) * d, k * d)
+                # Elementwise scaling of gathered rows — bitwise the same
+                # values _scaled_factor_buffers writes into su/sz.
+                np.multiply(us[k][uu[lo:hi]], scale_u, out=su_u[:, block])
+                np.multiply(zs[k - 1][vv[lo:hi]], scale_v, out=sz_v[:, block])
+                np.multiply(us[k][vv[lo:hi]], scale_v, out=su_v[:, block])
+                np.multiply(zs[k - 1][uu[lo:hi]], scale_u, out=sz_u[:, block])
+            c_uv = pairwise_gemm_dots(su_u, sz_v)
+            c_vu = pairwise_gemm_dots(su_v, sz_u)
+            # Same association order as the full assembly:
+            # (C[u,v] + C[v,u]) + dg[u] + dg[v].
+            out = np.add(c_uv, c_vu)
+            out += degree_grad[uu[lo:hi]]
+            out += degree_grad[vv[lo:hi]]
+            grad_pairs[lo:hi] = out
+
+        grad_features = self._us[0] if need_features else None
+        return PairAttackGradients(value, grad_pairs, grad_features)
 
     # ------------------------------------------------------------------
     def _init_loss_state(self) -> None:

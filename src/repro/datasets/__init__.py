@@ -1,16 +1,25 @@
 """Dataset substrate: synthetic generators, registry, splits."""
 
-from .registry import DATASETS, DatasetSpec, dataset_names, load_dataset
+from .registry import DATASETS, SCALE_TIERS, DatasetSpec, dataset_names, load_dataset
 from .splits import split_counts, stratified_split
-from .synthetic import SyntheticSpec, attach_identity_features, generate_graph
+from .synthetic import (
+    StreamedSBMSpec,
+    SyntheticSpec,
+    attach_identity_features,
+    generate_graph,
+    generate_streamed_sbm,
+)
 
 __all__ = [
     "DATASETS",
+    "SCALE_TIERS",
     "DatasetSpec",
     "dataset_names",
     "load_dataset",
     "SyntheticSpec",
+    "StreamedSBMSpec",
     "generate_graph",
+    "generate_streamed_sbm",
     "attach_identity_features",
     "stratified_split",
     "split_counts",

@@ -15,9 +15,20 @@ from ..errors import DatasetError
 from ..graph import Graph, validate_graph
 from ..utils.rng import SeedLike, ensure_rng
 from .splits import stratified_split
-from .synthetic import SyntheticSpec, generate_graph
+from .synthetic import (
+    StreamedSBMSpec,
+    SyntheticSpec,
+    generate_graph,
+    generate_streamed_sbm,
+)
 
-__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_names"]
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "SCALE_TIERS",
+    "load_dataset",
+    "dataset_names",
+]
 
 
 @dataclass(frozen=True)
@@ -115,9 +126,26 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
+# Scale tiers for the sampled-block attackers (ROADMAP item 1): streamed
+# degree-corrected SBM graphs far beyond what the Table III stand-ins (or
+# any O(n²) attacker) can reach.  Degree stays sparse-citation-like;
+# feature_dim shrinks with n so the (n, d) feature matrix stays resident.
+SCALE_TIERS: dict[str, StreamedSBMSpec] = {
+    "sbm-10k": StreamedSBMSpec(
+        num_nodes=10_000, avg_degree=8.0, num_classes=8, feature_dim=64
+    ),
+    "sbm-100k": StreamedSBMSpec(
+        num_nodes=100_000, avg_degree=8.0, num_classes=10, feature_dim=32
+    ),
+    "sbm-1m": StreamedSBMSpec(
+        num_nodes=1_000_000, avg_degree=6.0, num_classes=12, feature_dim=16
+    ),
+}
+
+
 def dataset_names() -> list[str]:
     """Names accepted by :func:`load_dataset`."""
-    return sorted(DATASETS)
+    return sorted(DATASETS) + sorted(SCALE_TIERS)
 
 
 def load_dataset(
@@ -145,10 +173,14 @@ def load_dataset(
         :func:`repro.graph.validate_graph`).
     """
     key = name.lower()
-    if key not in DATASETS:
-        raise DatasetError(f"unknown dataset {name!r}; choose from {dataset_names()}")
     rng = ensure_rng(seed)
-    spec = DATASETS[key].scaled(scale)
-    graph = generate_graph(spec, seed=rng, name=key)
+    if key in SCALE_TIERS:
+        sbm_spec = SCALE_TIERS[key].scaled(scale)
+        graph = generate_streamed_sbm(sbm_spec, seed=rng, name=key)
+    elif key in DATASETS:
+        spec = DATASETS[key].scaled(scale)
+        graph = generate_graph(spec, seed=rng, name=key)
+    else:
+        raise DatasetError(f"unknown dataset {name!r}; choose from {dataset_names()}")
     graph = stratified_split(graph, train_frac=train_frac, val_frac=val_frac, seed=rng)
     return validate_graph(graph, policy=validate, context=f"dataset {key}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from ..attacks import GFAttack, Metattack, MinMaxAttack, PGDAttack
+from ..attacks import GFAttack, GRBCD, Metattack, MinMaxAttack, PGDAttack, PRBCD
 from ..attacks.base import Attacker
 from ..core import GNAT, PEEGA
 from ..defenses import (
@@ -44,7 +44,7 @@ __all__ = [
     "defender_names_for",
 ]
 
-ATTACKER_NAMES = ["PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA"]
+ATTACKER_NAMES = ["PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA", "PRBCD", "GRBCD"]
 DEFENDER_NAMES = [
     "GCN",
     "GAT",
@@ -93,6 +93,8 @@ def make_attacker(name: str, dataset: str, seed: SeedLike = 0) -> Attacker:
         if dataset == "citeseer":
             return PEEGA(lam=0.05, p=1, focus_training_nodes=False, seed=seed)
         return PEEGA(lam=0.02, p=1, focus_training_nodes=False, seed=seed)
+    if name in ("PRBCD", "GRBCD"):
+        return _make_rbcd(name, dataset, seed)
     if name == "Metattack":
         return Metattack(seed=seed)
     if name == "PGD":
@@ -102,6 +104,40 @@ def make_attacker(name: str, dataset: str, seed: SeedLike = 0) -> Attacker:
     if name == "GF-Attack":
         return GFAttack(seed=seed)
     raise ConfigError(f"unknown attacker {name!r}; choose from {ATTACKER_NAMES}")
+
+
+def _make_rbcd(name: str, dataset: str, seed: SeedLike) -> Attacker:
+    """Sampled-block attackers: PEEGA's objective knobs at the small scale,
+    block/epoch knobs from the environment at the ``sbm-*`` scale tiers.
+
+    Environment knobs (scale tiers only, read per call like the others):
+
+    * ``REPRO_BLOCK_SIZE``  — candidate pairs sampled per block (default 200k);
+    * ``REPRO_RBCD_EPOCHS`` — PRBCD ascent epochs (default 25);
+    * ``REPRO_RBCD_FLIPS``  — GRBCD flips committed per block (default 64).
+    """
+    if dataset.startswith("sbm-"):
+        block = int(os.environ.get("REPRO_BLOCK_SIZE", 200_000))
+        # λ = 0: the global view keeps O(E·d) per-edge state — the one
+        # buffer not worth carrying at the 100k/1M tiers.  p = 2 keeps the
+        # relaxed PRBCD mass well-ordered (p = 1 scores are tie-dense).
+        if name == "PRBCD":
+            epochs = int(os.environ.get("REPRO_RBCD_EPOCHS", 25))
+            return PRBCD(lam=0.0, p=2, block_size=block, epochs=epochs, seed=seed)
+        flips = int(os.environ.get("REPRO_RBCD_FLIPS", 64))
+        return GRBCD(lam=0.0, p=2, block_size=block, flips_per_step=flips, seed=seed)
+    # Small datasets: mirror PEEGA's tuned λ/focus (topology-only, so the
+    # Polblogs feature caveat does not apply).  GRBCD keeps PEEGA's greedy
+    # p = 1; PRBCD's projection needs the tie-free p = 2 scores.
+    if dataset == "polblogs":
+        lam, focus = 0.01, True
+    elif dataset == "citeseer":
+        lam, focus = 0.05, False
+    else:
+        lam, focus = 0.02, False
+    if name == "PRBCD":
+        return PRBCD(lam=lam, p=2, focus_training_nodes=focus, seed=seed)
+    return GRBCD(lam=lam, p=1, focus_training_nodes=focus, seed=seed)
 
 
 def make_defender(name: str, dataset: str, seed: SeedLike = 0) -> Defender:

@@ -142,6 +142,24 @@ class PropagationCache:
         pos = np.searchsorted(row, v)
         return bool(pos < len(row) and row[pos] == v)
 
+    def has_edges(self, uu: np.ndarray, vv: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`has_edge` over endpoint index arrays.
+
+        ``A_n`` stores an explicit (positive) entry for every current edge
+        plus the self-loops, so for ``u != v`` membership of ``(u, v)`` in
+        its sparsity pattern is exactly edge existence.  This is the
+        block-sampled attackers' candidate-direction lookup — O(|pairs| ·
+        log deg), never materializing anything dense.
+        """
+        uu = np.asarray(uu, dtype=np.int64)
+        vv = np.asarray(vv, dtype=np.int64)
+        if len(uu) == 0:
+            return np.zeros(0, dtype=bool)
+        # scipy's compiled per-pair sampling; every stored value is a
+        # positive product of scaling coefficients, so != 0 is membership.
+        sampled = np.asarray(self._an[uu, vv]).ravel()
+        return sampled != 0.0
+
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
@@ -189,6 +207,22 @@ class PropagationCache:
         same flip twice restores the cached state bit-exactly.
         """
         self.check_binding()
+        self._apply_unchecked(flip)
+
+    def apply_batch(self, flips) -> None:
+        """Apply a sequence of perturbations with one binding check.
+
+        Bit-identical to calling :meth:`apply` per flip — the only
+        difference is that the out-of-band mutation check (a full-adjacency
+        hash, O(nnz)) runs once per batch instead of once per flip.  The
+        block-sampled attackers re-round δ edges per epoch; hashing per
+        flip would turn that into an O(δ · nnz) scan per epoch.
+        """
+        self.check_binding()
+        for flip in flips:
+            self._apply_unchecked(flip)
+
+    def _apply_unchecked(self, flip: Union[EdgeFlip, FeatureFlip]) -> None:
         if isinstance(flip, FeatureFlip):
             self._dirty_feature_rows.add(int(flip.node))
             self.log.record(flip)

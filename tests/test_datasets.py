@@ -86,7 +86,9 @@ class TestSyntheticGenerator:
 
 class TestRegistry:
     def test_names(self):
-        assert dataset_names() == ["citeseer", "cora", "polblogs"]
+        assert dataset_names() == [
+            "citeseer", "cora", "polblogs", "sbm-100k", "sbm-10k", "sbm-1m",
+        ]
 
     def test_unknown_name_rejected(self):
         with pytest.raises(DatasetError):

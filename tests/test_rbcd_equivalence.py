@@ -1,0 +1,214 @@
+"""Equivalence tier: exhaustive-block PRBCD/GRBCD vs the dense PEEGA oracle.
+
+When ``block_size`` covers the whole candidate space the samplers disappear
+and the block attackers must *reduce to* exhaustive scoring:
+
+* GRBCD becomes PEEGA's topology-only greedy — identical flip sequences
+  (including argpartition tie order, which decides p = 1 flips) against the
+  dense ``use_cache=False`` oracle;
+* PRBCD with ``epochs=1`` becomes one-shot PEEGA with ``flips_per_step=δ``
+  (both resolve the clean state's zero-gradient degeneracy through the same
+  tie ranking);
+* the O(block) pair kernel agrees with the full-matrix gradient entries to
+  tight tolerance (not bitwise — BLAS tile paths differ, which is exactly
+  why the exhaustive modes score through the full matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import GRBCD, PRBCD
+from repro.attacks.base import AttackBudget
+from repro.core.difference import DifferenceObjective, IncrementalScorer
+from repro.core.peega import PEEGA
+from repro.defenses import RawGCN
+from repro.graph import EdgeFlip
+from repro.surrogate import PropagationCache
+
+EXHAUSTIVE = 10**9  # > n(n-1)/2 for every test graph
+
+
+def _flips(result):
+    return [(f.u, f.v) for f in result.edge_flips]
+
+
+def _rescore(graph, result, layers, p, lam):
+    objective = DifferenceObjective(graph, layers=layers, p=p, lam=lam)
+    return float(
+        objective(result.poisoned.adjacency, result.poisoned.features).item()
+    )
+
+
+@pytest.mark.parametrize("p", [1, 2])
+@pytest.mark.parametrize("flips_per_step", [1, 3])
+def test_grbcd_exhaustive_matches_dense_peega_cora(small_cora, p, flips_per_step):
+    lam = 0.02
+    dense = PEEGA(
+        lam=lam,
+        p=p,
+        attack_features=False,
+        focus_training_nodes=False,
+        flips_per_step=flips_per_step,
+        use_cache=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=12))
+    block = GRBCD(
+        lam=lam,
+        p=p,
+        block_size=EXHAUSTIVE,
+        flips_per_step=flips_per_step,
+        focus_training_nodes=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=12))
+    assert _flips(dense) == _flips(block)
+    assert _rescore(small_cora, dense, 2, p, lam) == pytest.approx(
+        _rescore(small_cora, block, 2, p, lam), abs=1e-8
+    )
+
+
+@pytest.mark.parametrize("layers", [1, 3])
+def test_grbcd_exhaustive_matches_dense_peega_layers(small_cora, layers):
+    dense = PEEGA(
+        lam=0.0,
+        p=2,
+        layers=layers,
+        attack_features=False,
+        focus_training_nodes=False,
+        use_cache=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=8))
+    block = GRBCD(
+        lam=0.0,
+        p=2,
+        layers=layers,
+        block_size=EXHAUSTIVE,
+        focus_training_nodes=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=8))
+    assert _flips(dense) == _flips(block)
+
+
+def test_grbcd_exhaustive_matches_dense_peega_polblogs(small_polblogs):
+    # Polblogs regime: identity features, training-node-focused objective.
+    dense = PEEGA(
+        lam=0.01,
+        p=1,
+        attack_features=False,
+        focus_training_nodes=True,
+        use_cache=False,
+        seed=0,
+    ).attack(small_polblogs, AttackBudget(total=10))
+    block = GRBCD(
+        lam=0.01,
+        p=1,
+        block_size=EXHAUSTIVE,
+        focus_training_nodes=True,
+        seed=0,
+    ).attack(small_polblogs, AttackBudget(total=10))
+    assert _flips(dense) == _flips(block)
+
+
+def test_prbcd_exhaustive_one_epoch_is_one_shot_peega(small_cora):
+    delta = 15
+    dense = PEEGA(
+        lam=0.0,
+        p=2,
+        attack_features=False,
+        focus_training_nodes=False,
+        flips_per_step=delta,
+        use_cache=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=float(delta)))
+    block = PRBCD(
+        lam=0.0,
+        p=2,
+        block_size=EXHAUSTIVE,
+        epochs=1,
+        focus_training_nodes=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=float(delta)))
+    assert _flips(dense)[:delta] == _flips(block)
+
+
+def test_prbcd_exhaustive_post_attack_accuracy_matches_oracle(small_cora):
+    """Identical flips ⇒ identical poisoned graphs ⇒ identical accuracy."""
+    delta = 10
+    dense = PEEGA(
+        lam=0.0,
+        p=2,
+        attack_features=False,
+        focus_training_nodes=False,
+        flips_per_step=delta,
+        use_cache=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=float(delta)))
+    block = PRBCD(
+        lam=0.0,
+        p=2,
+        block_size=EXHAUSTIVE,
+        epochs=1,
+        focus_training_nodes=False,
+        seed=0,
+    ).attack(small_cora, AttackBudget(total=float(delta)))
+    assert (dense.poisoned.adjacency != block.poisoned.adjacency).nnz == 0
+    acc_dense = RawGCN(seed=1).fit(dense.poisoned).test_accuracy
+    acc_block = RawGCN(seed=1).fit(block.poisoned).test_accuracy
+    assert acc_dense == acc_block
+
+
+def test_prbcd_multi_epoch_returns_its_best_measured_rounding(small_cora):
+    """The reported flips are the argmax of the objective trace, and the
+    poisoned graph re-scores to exactly that value."""
+    atk = PRBCD(
+        lam=0.0,
+        p=2,
+        block_size=EXHAUSTIVE,
+        epochs=8,
+        focus_training_nodes=False,
+        seed=0,
+    )
+    result = atk.attack(small_cora, AttackBudget(total=15.0))
+    assert len(result.edge_flips) == 15
+    best = max(result.objective_trace)
+    assert _rescore(small_cora, result, 2, 2, 0.0) == pytest.approx(best, abs=1e-8)
+    # The kick epoch starts at the clean state's (numerically) zero objective.
+    assert result.objective_trace[0] == pytest.approx(0.0, abs=1e-6)
+    assert best > 0.0
+
+
+def test_pair_kernel_matches_full_matrix_entries(small_cora):
+    """The O(block) pair kernel vs gathered full-matrix entries, including
+    across incremental flip rounds — tight tolerance, loss exact."""
+    rng = np.random.default_rng(5)
+    n = small_cora.num_nodes
+    feats = np.asarray(small_cora.features, dtype=np.float64)
+    for p in (1, 2):
+        for layers in (1, 2, 3):
+            cache_a = PropagationCache(small_cora)
+            obj_a = DifferenceObjective(
+                small_cora, layers=layers, p=p, lam=0.02, cache=cache_a
+            )
+            scorer_a = IncrementalScorer(obj_a, cache_a)
+            cache_b = PropagationCache(small_cora)
+            obj_b = DifferenceObjective(
+                small_cora, layers=layers, p=p, lam=0.02, cache=cache_b
+            )
+            scorer_b = IncrementalScorer(obj_b, cache_b)
+            for round_ in range(3):
+                uu = rng.integers(0, n, size=400)
+                vv = rng.integers(0, n, size=400)
+                keep = uu != vv
+                uu, vv = uu[keep], vv[keep]
+                full = scorer_a.gradients(feats, need_features=False)
+                want = full.grad_topology[uu, vv]
+                pair = scorer_b.pair_gradients(feats, uu, vv)
+                assert pair.loss == full.loss
+                np.testing.assert_allclose(
+                    pair.grad_pairs, want, rtol=1e-10, atol=1e-14
+                )
+                u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+                if u != v:
+                    cache_a.apply(EdgeFlip(u, v))
+                    cache_b.apply(EdgeFlip(u, v))

@@ -1,0 +1,116 @@
+"""Tests for the streamed degree-corrected SBM generator.
+
+The generator must build a valid CSR graph directly — no dense n×n
+intermediate — with degree and block structure near the spec's targets, be
+bit-deterministic per seed, and stay within a streaming memory envelope at
+the 100k tier.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SCALE_TIERS,
+    StreamedSBMSpec,
+    generate_streamed_sbm,
+    load_dataset,
+)
+from repro.errors import DatasetError
+from repro.graph import check_graph, validate_graph
+
+
+def _homophily(graph):
+    adj = graph.adjacency.tocoo()
+    mask = adj.row < adj.col
+    labels = np.asarray(graph.labels)
+    return float(np.mean(labels[adj.row[mask]] == labels[adj.col[mask]]))
+
+
+def _mean_degree(graph):
+    return graph.adjacency.nnz / graph.num_nodes
+
+
+class TestStreamedSBM:
+    def test_structure_matches_spec(self):
+        spec = StreamedSBMSpec(
+            num_nodes=4000, avg_degree=10.0, num_classes=6, feature_dim=24,
+            homophily=0.75,
+        )
+        graph = generate_streamed_sbm(spec, seed=0)
+        assert graph.num_nodes == 4000
+        assert graph.features.shape == (4000, 24)
+        # Degree within 15% of target; homophily within 0.05.
+        assert _mean_degree(graph) == pytest.approx(10.0, rel=0.15)
+        assert _homophily(graph) == pytest.approx(0.75, abs=0.05)
+        # Every class is populated and every node has at least one feature bit.
+        assert len(np.unique(np.asarray(graph.labels))) == 6
+        assert np.all(np.asarray(graph.features.sum(axis=1)).ravel() > 0)
+
+    def test_passes_strict_graph_contract(self):
+        spec = StreamedSBMSpec(num_nodes=3000, avg_degree=8.0, num_classes=5,
+                               feature_dim=16)
+        graph = generate_streamed_sbm(spec, seed=1)
+        assert check_graph(graph) == []
+        validate_graph(graph, policy="strict", context="streamed-sbm-test")
+        # CSR sanity: sorted canonical indices, no explicit zeros.
+        adj = graph.adjacency
+        assert adj.has_canonical_format or adj.has_sorted_indices
+        assert np.all(adj.data == 1.0)
+
+    def test_bit_deterministic_per_seed(self):
+        spec = StreamedSBMSpec(num_nodes=2500, avg_degree=9.0, num_classes=4,
+                               feature_dim=20)
+        a = generate_streamed_sbm(spec, seed=7)
+        b = generate_streamed_sbm(spec, seed=7)
+        c = generate_streamed_sbm(spec, seed=8)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        np.testing.assert_array_equal(
+            np.asarray(a.features), np.asarray(b.features)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(a.labels), np.asarray(b.labels)
+        )
+        assert (a.adjacency != c.adjacency).nnz != 0
+
+    def test_spec_validation(self):
+        with pytest.raises(DatasetError):
+            StreamedSBMSpec(num_nodes=1, avg_degree=8.0)
+        with pytest.raises(DatasetError):
+            StreamedSBMSpec(num_nodes=1000, avg_degree=0.0)
+        with pytest.raises(DatasetError):
+            StreamedSBMSpec(num_nodes=1000, avg_degree=8.0, homophily=1.5)
+        with pytest.raises(DatasetError):
+            StreamedSBMSpec(num_nodes=1000, avg_degree=8.0, feature_dim=0)
+
+    def test_scaled_spec_floors_and_bounds(self):
+        spec = StreamedSBMSpec(num_nodes=100_000, num_classes=10)
+        small = spec.scaled(0.001)
+        assert small.num_nodes >= 2 * small.num_classes
+        with pytest.raises(DatasetError):
+            spec.scaled(0.0)
+        with pytest.raises(DatasetError):
+            spec.scaled(1.5)
+
+    def test_registry_scale_tiers_load(self):
+        assert set(SCALE_TIERS) == {"sbm-10k", "sbm-100k", "sbm-1m"}
+        graph = load_dataset("sbm-10k", scale=0.02, seed=0)
+        # 0.02 × 10k = 200 nodes, already split and strict-validated.
+        assert graph.num_nodes == 200
+        assert graph.train_mask is not None
+        assert check_graph(graph) == []
+
+    def test_100k_peak_memory_stays_streaming(self):
+        """A dense n×n at 100k nodes would be 80 GB; the streamed build must
+        stay within a few hundred MB."""
+        spec = SCALE_TIERS["sbm-100k"]
+        tracemalloc.start()
+        graph = generate_streamed_sbm(spec, seed=0)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert graph.num_nodes == 100_000
+        assert peak < 400 * 1024 * 1024
+        assert _mean_degree(graph) == pytest.approx(8.0, rel=0.15)
