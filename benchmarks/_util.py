@@ -7,6 +7,7 @@ under ``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference them.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -18,6 +19,23 @@ def emit(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-read ``BENCH_*.json`` report atomically + durably.
+
+    CI gates parse these files, so a mid-write kill must leave the previous
+    report or nothing — and a full disk must fail with a structured
+    :class:`~repro.errors.ResourceError` naming the path, not a torn file.
+    """
+    from repro.io import atomic_write_json
+    from repro.utils.resources import require_free_disk
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    needed = len(json.dumps(payload, indent=2, sort_keys=True).encode()) + 4096
+    require_free_disk(path, needed, site="bench_disk", report=name)
+    atomic_write_json(path, payload)
 
 
 def run_once(benchmark, fn):

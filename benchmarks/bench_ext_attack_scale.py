@@ -16,11 +16,10 @@ is set explicitly; the committed baseline therefore carries the 10k and
 100k tiers.
 """
 
-import json
 import os
 import time
 
-from _util import RESULTS_DIR, emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.attacks import GRBCD, PRBCD
 from repro.attacks.base import AttackBudget
@@ -103,8 +102,4 @@ def test_ext_attack_scale(benchmark):
     )
     emit("ext_attack_scale", text)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {"quick": QUICK, "tiers": tiers}
-    (RESULTS_DIR / "BENCH_attack_scale.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
+    emit_json("BENCH_attack_scale.json", {"quick": QUICK, "tiers": tiers})

@@ -27,11 +27,10 @@ delivers a ≥2x fit, bit-identically", not a statistical distribution.
 floor to 1.3x; the job still fails if fused is slower than autodiff.
 """
 
-import json
 import os
 import time
 
-from _util import RESULTS_DIR, emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.core import GNAT
 from repro.datasets import load_dataset
@@ -134,19 +133,18 @@ def test_ext_fused_training(benchmark):
     )
     emit("ext_fused_training", text)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "dataset": "cora",
-        "gcn_scale": GCN_SCALE,
-        "gcn_fits": fits,
-        "gnat_scale": GNAT_SCALE,
-        "quick": QUICK,
-        "min_speedup": MIN_SPEEDUP,
-        "per_fit_cpu_seconds": per_fit,
-        "speedups": speedups,
-    }
-    (RESULTS_DIR / "BENCH_training.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    emit_json(
+        "BENCH_training.json",
+        {
+            "dataset": "cora",
+            "gcn_scale": GCN_SCALE,
+            "gcn_fits": fits,
+            "gnat_scale": GNAT_SCALE,
+            "quick": QUICK,
+            "min_speedup": MIN_SPEEDUP,
+            "per_fit_cpu_seconds": per_fit,
+            "speedups": speedups,
+        },
     )
 
     # Bit-identity, not mere statistical closeness: the fused engine walks

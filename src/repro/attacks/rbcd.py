@@ -31,14 +31,16 @@ oracle.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Union
 
 import numpy as np
 
 from ..core.difference import DifferenceObjective, IncrementalScorer
-from ..errors import ConfigError
+from ..errors import ConfigError, DegradedWarning
 from ..graph import EdgeFlip, Graph, apply_perturbations
 from ..surrogate import PropagationCache
+from ..utils import faults
 from ..utils.rng import SeedLike
 from .base import AttackBudget, Attacker, AttackResult
 
@@ -144,6 +146,11 @@ class _BlockCoordinateAttacker(Attacker):
         self.layers = int(layers)
         self.block_size = int(block_size)
         self.focus_training_nodes = bool(focus_training_nodes)
+        # Working block size for the current run.  Starts at ``block_size``
+        # every run and halves each time a block allocation raises
+        # ``MemoryError`` (see ``_shrink_block``) — never mutates the
+        # configured ``block_size``, so attacker instances stay reusable.
+        self._active_block = self.block_size
 
     # ------------------------------------------------------------------
     def _make_scorer(self, graph: Graph) -> tuple[PropagationCache, IncrementalScorer]:
@@ -164,7 +171,27 @@ class _BlockCoordinateAttacker(Attacker):
         return cache, IncrementalScorer(objective, cache)
 
     def _is_exhaustive(self, num_nodes: int) -> bool:
-        return self.block_size >= num_nodes * (num_nodes - 1) // 2
+        return self._active_block >= num_nodes * (num_nodes - 1) // 2
+
+    def _shrink_block(self, error: BaseException) -> bool:
+        """Halve the working block after a ``MemoryError``; False when spent.
+
+        The shrink is deterministic given the failure point (no clocks, no
+        sampling), so an injected ``rbcd:oom`` fault reproduces the exact
+        degraded flip sequence.  Returns False once the block cannot shrink
+        below a single pair, at which point the error must propagate to the
+        supervisor's process-level ladder.
+        """
+        if self._active_block <= 1:
+            return False
+        self._active_block = max(1, self._active_block // 2)
+        warnings.warn(
+            f"{self.name}: candidate block exhausted memory ({error!r}); "
+            f"retrying with block_size={self._active_block}",
+            DegradedWarning,
+            stacklevel=3,
+        )
+        return True
 
     def _block_scores(
         self,
@@ -234,6 +261,7 @@ class GRBCD(_BlockCoordinateAttacker):
     # ------------------------------------------------------------------
     def _run(self, graph: Graph, budget: AttackBudget) -> AttackResult:
         n = graph.num_nodes
+        self._active_block = self.block_size
         cache, scorer = self._make_scorer(graph)
         features = np.asarray(graph.features, dtype=np.float64)
         result = AttackResult(original=graph, poisoned=graph, budget=budget)
@@ -246,18 +274,30 @@ class GRBCD(_BlockCoordinateAttacker):
             edge_allowed = np.triu(np.ones((n, n), dtype=bool), k=1)
 
         while spent + 1.0 <= budget.total + 1e-12:
-            if exhaustive:
-                uu, vv = np.nonzero(edge_allowed)
-            else:
-                keys = sample_candidate_pairs(
-                    self._rng, n, self.block_size, exclude_keys=flipped_keys
+            try:
+                faults.perturb(
+                    "rbcd", attacker=self.name, block=self._active_block
                 )
-                uu, vv = decode_pair_keys(keys, n)
-            if len(uu) == 0:
-                break
-            scores, loss = self._block_scores(
-                scorer, cache, features, uu, vv, exhaustive
-            )
+                if exhaustive:
+                    uu, vv = np.nonzero(edge_allowed)
+                else:
+                    keys = sample_candidate_pairs(
+                        self._rng, n, self._active_block, exclude_keys=flipped_keys
+                    )
+                    uu, vv = decode_pair_keys(keys, n)
+                if len(uu) == 0:
+                    break
+                scores, loss = self._block_scores(
+                    scorer, cache, features, uu, vv, exhaustive
+                )
+            except MemoryError as error:
+                if not self._shrink_block(error):
+                    raise
+                # A shrunken block may no longer cover the candidate space;
+                # ``flipped_keys`` is maintained in both modes, so dropping
+                # to sampled blocks keeps the already-flipped exclusion.
+                exhaustive = exhaustive and self._is_exhaustive(n)
+                continue
             result.objective_trace.append(loss)
 
             if exhaustive:
@@ -272,10 +312,9 @@ class GRBCD(_BlockCoordinateAttacker):
                 if spent + 1.0 > budget.total + 1e-12:
                     continue
                 batch.append(EdgeFlip(u, v))
+                new_keys.append(u * n + v)
                 if exhaustive:
                     edge_allowed[u, v] = False
-                else:
-                    new_keys.append(u * n + v)
                 spent += 1.0
             cache.apply_batch(batch)
             result.edge_flips.extend(batch)
@@ -407,6 +446,7 @@ class PRBCD(_BlockCoordinateAttacker):
 
     def _run(self, graph: Graph, budget: AttackBudget) -> AttackResult:
         n = graph.num_nodes
+        self._active_block = self.block_size
         result = AttackResult(original=graph, poisoned=graph, budget=budget)
         delta = int(np.floor(budget.total + 1e-12))
         if delta < 1:
@@ -418,7 +458,7 @@ class PRBCD(_BlockCoordinateAttacker):
             iu, iv = np.triu_indices(n, k=1)
             keys = encode_pair_keys(iu, iv, n)
         else:
-            keys = sample_candidate_pairs(self._rng, n, self.block_size)
+            keys = sample_candidate_pairs(self._rng, n, self._active_block)
         unranked = np.iinfo(np.int64).max
         weights = np.zeros(len(keys), dtype=np.float64)
         scores = np.zeros(len(keys), dtype=np.float64)
@@ -433,10 +473,35 @@ class PRBCD(_BlockCoordinateAttacker):
         best_commit = pending
 
         for epoch in range(self.epochs):
-            uu, vv = decode_pair_keys(keys, n)
-            scores, loss = self._block_scores(
-                scorer, cache, features, uu, vv, exhaustive
-            )
+            while True:
+                try:
+                    faults.perturb(
+                        "rbcd", attacker=self.name, epoch=epoch, block=len(keys)
+                    )
+                    uu, vv = decode_pair_keys(keys, n)
+                    scores, loss = self._block_scores(
+                        scorer, cache, features, uu, vv, exhaustive
+                    )
+                    break
+                except MemoryError as error:
+                    if not self._shrink_block(error):
+                        raise
+                    exhaustive = exhaustive and self._is_exhaustive(n)
+                    # Shed block mass deterministically: keep the
+                    # highest-mass entries (kick rank, then canonical key,
+                    # break ties), never fewer than δ so the rounding can
+                    # still spend the whole budget.  Entries already applied
+                    # in the cache but dropped here get un-flipped by the
+                    # next re-rounding's symmetric difference.
+                    keep_count = min(len(keys), max(self._active_block, delta))
+                    if keep_count < len(keys):
+                        sel = np.sort(
+                            np.lexsort((keys, kick_rank, -weights))[:keep_count]
+                        )
+                        keys = keys[sel]
+                        weights = weights[sel]
+                        scores = scores[sel]
+                        kick_rank = kick_rank[sel]
             # Objective at the current integral iterate (the rounding the
             # scores were just evaluated at) — epoch 0 is the clean graph.
             result.objective_trace.append(loss)
@@ -488,9 +553,9 @@ class PRBCD(_BlockCoordinateAttacker):
                 if not keep.all():
                     kept_keys = keys[keep]
                     fresh = sample_candidate_pairs(
-                        self._rng, n, self.block_size, exclude_keys=kept_keys
+                        self._rng, n, self._active_block, exclude_keys=kept_keys
                     )
-                    need = max(0, self.block_size - len(kept_keys))
+                    need = max(0, self._active_block - len(kept_keys))
                     if len(fresh) > need:
                         fresh = self._rng.choice(fresh, size=need, replace=False)
                         fresh.sort()

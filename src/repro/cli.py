@@ -40,6 +40,13 @@ from .experiments import (
 from .graph import VALIDATION_POLICIES
 from .io import load_attack_result, load_graph, save_attack_result, save_graph
 from .nn.fastpath import ENGINE_ENV_VAR, ENGINES
+from .utils.keystore import CACHE_BYTES_ENV_VAR, set_cache_bytes
+from .utils.resources import (
+    MEMORY_BUDGET_ENV_VAR,
+    budget_from_env,
+    install_budget,
+    parse_bytes,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -74,6 +81,40 @@ def _apply_engine_flag(args: argparse.Namespace) -> None:
         os.environ[ENGINE_ENV_VAR] = args.engine
 
 
+def _add_resource_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="soft RSS ceiling per process, e.g. 8G or 500M (default: "
+        "unlimited); crossing it raises a structured ResourceError that the "
+        "retry ladder turns into a degraded re-run; also settable via "
+        f"${MEMORY_BUDGET_ENV_VAR}",
+    )
+    parser.add_argument(
+        "--cache-bytes",
+        default=None,
+        metavar="BYTES",
+        help="global byte budget shared by all in-memory artifact caches "
+        "(view operators, SGC propagations, poison store), e.g. 2G "
+        "(default: unlimited); oldest entries evict first; also settable "
+        f"via ${CACHE_BYTES_ENV_VAR}",
+    )
+
+
+def _apply_resource_flags(args: argparse.Namespace) -> None:
+    """Export resource flags via env so --jobs pool workers inherit them,
+    and arm the budget/caches in this process."""
+    if getattr(args, "memory_budget", None):
+        parse_bytes(args.memory_budget)  # validate before exporting
+        os.environ[MEMORY_BUDGET_ENV_VAR] = args.memory_budget
+        install_budget(budget_from_env())
+    if getattr(args, "cache_bytes", None):
+        total = parse_bytes(args.cache_bytes)
+        os.environ[CACHE_BYTES_ENV_VAR] = args.cache_bytes
+        set_cache_bytes(total)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -98,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--seed", type=int, default=0)
     p_attack.add_argument("--out", required=True, help="output .npz attack archive")
     _add_validate_flag(p_attack)
+    _add_resource_flags(p_attack)
 
     p_defend = sub.add_parser("defend", help="train a defender and report accuracy")
     p_defend.add_argument("defender", choices=DEFENDER_NAMES)
@@ -108,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_defend.add_argument("--seeds", type=int, default=3)
     _add_validate_flag(p_defend, default="repair")
     _add_engine_flag(p_defend)
+    _add_resource_flags(p_defend)
 
     p_table = sub.add_parser("table", help="regenerate a Table IV/V/VI-style grid")
     p_table.add_argument("dataset", choices=dataset_names())
@@ -160,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_validate_flag(p_table)
     _add_engine_flag(p_table)
+    _add_resource_flags(p_table)
 
     p_analyze = sub.add_parser("analyze", help="attack-pattern analysis (Fig 1/2)")
     p_analyze.add_argument("--attack", required=True, help=".npz attack archive")
@@ -195,6 +239,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    _apply_resource_flags(args)
     graph = _load_input_graph(args)
     attacker = make_attacker(args.attacker, graph.name, seed=args.seed)
     result = attacker.attack(
@@ -214,6 +259,7 @@ def _cmd_defend(args: argparse.Namespace) -> int:
     if bool(args.graph) == bool(args.attack):
         raise SystemExit("give exactly one of --graph / --attack")
     _apply_engine_flag(args)
+    _apply_resource_flags(args)
     if args.graph:
         graph = load_graph(args.graph, validate=args.validate)
     else:
@@ -245,6 +291,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
     _apply_engine_flag(args)
+    _apply_resource_flags(args)
     config = ExperimentScale(scale=args.scale, seeds=args.seeds, rate=args.rate)
     supervisor = TrialSupervisor(
         TrialPolicy(max_attempts=args.max_attempts, deadline_seconds=args.deadline)

@@ -29,6 +29,17 @@ class BudgetWarning(ReproWarning):
     """An attack budget was clamped to the number of feasible flips."""
 
 
+class CapacityWarning(ReproWarning):
+    """A resource request was clamped to the machine's actual capacity
+    (e.g. ``--jobs`` above the available core count)."""
+
+
+class DegradedWarning(ReproWarning):
+    """Work was retried at a reduced resource footprint (fewer BLAS
+    threads, smaller candidate blocks, autodiff fallback) after a
+    resource-exhaustion failure."""
+
+
 class ShapeError(ReproError, ValueError):
     """An array or tensor had an incompatible shape."""
 
@@ -101,6 +112,38 @@ class DivergenceError(ReproError, RuntimeError):
         self.loss = loss
         self.recovered = recovered
         self.best_val_accuracy = best_val_accuracy
+
+
+class ResourceError(ReproError, RuntimeError):
+    """A resource budget (memory or disk) cannot accommodate an operation.
+
+    Raised by the preflight checks in :mod:`repro.utils.resources` instead
+    of letting an allocation fail halfway through (torn writes, OOM kills).
+
+    Attributes
+    ----------
+    resource:
+        ``"memory"`` or ``"disk"``.
+    path:
+        Filesystem path involved (disk preflights; ``None`` for memory).
+    needed_bytes / available_bytes:
+        The request and what the environment could actually supply.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str = "memory",
+        path: object = None,
+        needed_bytes: int = 0,
+        available_bytes: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.path = path
+        self.needed_bytes = int(needed_bytes)
+        self.available_bytes = int(available_bytes)
 
 
 class TrialError(ReproError, RuntimeError):

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -60,10 +61,11 @@ from typing import Any, Callable, Optional
 import multiprocessing
 
 from ..attacks.base import AttackResult
-from ..errors import ConfigError
+from ..errors import CapacityWarning, ConfigError, DegradedWarning
 from ..graph import Graph
 from ..utils import faults
-from ..utils.blas import limit_blas_threads, plan_worker_threads
+from ..utils.blas import cpu_count, limit_blas_threads, plan_worker_threads
+from ..utils.resources import MAX_DEGRADE_LEVEL, budget_from_env, degraded_footprint, install_budget
 from .supervisor import (
     RESEED_STRIDE,
     TrialFailure,
@@ -322,14 +324,18 @@ _WORKER_GRAPHS: dict[tuple, Graph] = {}
 
 
 def _worker_init(blas_threads: Optional[int]) -> None:
-    """Pool initializer: pin the worker's BLAS thread budget.
+    """Pool initializer: pin the worker's BLAS thread budget and adopt the
+    parent's memory budget.
 
     Environment variables are authoritative for ``spawn`` workers and for
     lazily-initialized runtimes under ``fork`` (see :mod:`repro.utils.blas`
-    for the honest caveats).
+    for the honest caveats).  The memory budget arrives the same way — the
+    CLI exports ``REPRO_MEMORY_BUDGET`` — so each worker governs its own
+    RSS with the same ceiling the parent uses.
     """
     if blas_threads is not None:
         limit_blas_threads(blas_threads)
+    install_budget(budget_from_env())
 
 
 def _worker_graph(ref: tuple) -> Graph:
@@ -363,7 +369,14 @@ def _worker_graph(ref: tuple) -> Graph:
 
 @dataclass(frozen=True)
 class _TaskPayload:
-    """Everything a worker needs to run one trial, picklable."""
+    """Everything a worker needs to run one trial, picklable.
+
+    ``degrade`` is the degradation-ladder rung the trial runs under (0 =
+    full footprint; raised by the parent each time a pool worker running
+    this trial died).  ``prior_kills`` counts those deaths: the replacement
+    worker pre-fires its ``oomkill`` fault specs by that amount so a
+    bounded kill rule does not re-fire forever on the requeued trial.
+    """
 
     kind: str
     key: TrialKey
@@ -372,6 +385,8 @@ class _TaskPayload:
     fault_specs: tuple[faults.FaultSpec, ...]
     site_ordinal: int
     validate: str = "strict"
+    degrade: int = 0
+    prior_kills: int = 0
 
 
 @dataclass(frozen=True)
@@ -401,7 +416,13 @@ def _execute_trial(payload: _TaskPayload) -> _WorkerResult:
     started = time.monotonic()
     key = payload.key
     specs = [
-        dataclasses.replace(spec, fired=0, match=dict(spec.match))
+        dataclasses.replace(
+            spec,
+            # A kill erased the injector that fired it; seed the replacement
+            # with the prior kill count so bounded oomkill rules stay spent.
+            fired=payload.prior_kills if spec.action == "oomkill" else 0,
+            match=dict(spec.match),
+        )
         for spec in payload.fault_specs
     ]
     injector = faults.FaultInjector(specs) if specs else None
@@ -444,7 +465,7 @@ def _execute_trial(payload: _TaskPayload) -> _WorkerResult:
                 .test_accuracy
             )
 
-    with faults.active(injector):
+    with degraded_footprint(payload.degrade), faults.active(injector):
         outcome = supervisor.run(key, trial)
     return _WorkerResult(
         outcome=outcome,
@@ -474,6 +495,15 @@ class ParallelTrialExecutor:
 
     ``BaseException`` from a worker (injected kill, operator interrupt)
     drains the pool and propagates, exactly like the serial path.
+
+    Worker *death* (kernel OOM kill, segfault, injected ``oomkill``) is
+    not fatal: the scheduler salvages every future that finished before
+    the pool broke, rebuilds the pool, and requeues the dead trials one
+    rung down the degradation ladder (fewer BLAS threads, smaller
+    candidate block, autodiff engine — see
+    :data:`repro.utils.resources.DEGRADATION_LADDER`).  A trial whose
+    workers die past the bottom of the ladder becomes a structured
+    :class:`TrialFailure` instead of an endless kill loop.
     """
 
     def __init__(
@@ -501,6 +531,14 @@ class ParallelTrialExecutor:
             return multiprocessing.get_context("fork")
         except ValueError:  # platform without fork (Windows, some macOS setups)
             return multiprocessing.get_context("spawn")
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=self._context(),
+            initializer=_worker_init,
+            initargs=(self.blas_threads,),
+        )
 
     def run(self, plan: SweepPlan, runtime: SweepRuntime) -> dict[int, TrialOutcome]:
         timings = SweepTimings(jobs=self.jobs)
@@ -539,6 +577,12 @@ class ParallelTrialExecutor:
 
         submit_times: dict[int, float] = {}
         inflight: dict[Future, TrialTask] = {}
+        # Tasks waiting (or re-waiting, after a pool rebuild) for dispatch.
+        pending: list[TrialTask] = []
+        # Degradation state per task index: how many pool workers died while
+        # running the trial, and which ladder rung its next dispatch uses.
+        kill_counts: dict[int, int] = {}
+        degrade_levels: dict[int, int] = {}
 
         def submit(pool: ProcessPoolExecutor, task: TrialTask) -> None:
             """Resolve a ready task from caches/quarantine or dispatch it."""
@@ -575,9 +619,16 @@ class ParallelTrialExecutor:
                 fault_specs=fault_specs,
                 site_ordinal=task.site_ordinal,
                 validate=runtime.validate,
+                degrade=degrade_levels.get(task.index, 0),
+                prior_kills=kill_counts.get(task.index, 0),
             )
             submit_times[task.index] = time.monotonic()
-            inflight[pool.submit(_execute_trial, payload)] = task
+            try:
+                inflight[pool.submit(_execute_trial, payload)] = task
+            except BrokenProcessPool:
+                # The pool died under us mid-dispatch; park the task and let
+                # the scheduler loop rebuild the pool and re-dispatch.
+                pending.append(task)
 
         def attack_done(
             pool: ProcessPoolExecutor, task: TrialTask, outcome: TrialOutcome
@@ -594,47 +645,125 @@ class ParallelTrialExecutor:
                     submit(pool, dependent)
                 # else: dependents stay without outcomes → n/a cells
 
-        context = self._context()
-        pool = ProcessPoolExecutor(
-            max_workers=self.jobs,
-            mp_context=context,
-            initializer=_worker_init,
-            initargs=(self.blas_threads,),
-        )
-        try:
-            for task in plan.tasks:
-                if task.depends_on is None:
-                    submit(pool, task)
-            while inflight:
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                # Canonical-index order within a completion batch keeps the
-                # parent's bookkeeping deterministic under ties.
-                for future in sorted(done, key=lambda f: inflight[f].index):
-                    task = inflight.pop(future)
+        def process(
+            pool: ProcessPoolExecutor, task: TrialTask, result: _WorkerResult
+        ) -> None:
+            """Merge one worker result into the parent's bookkeeping."""
+            outcome = result.outcome
+            outcomes[task.index] = outcome
+            timings.record(
+                task.key.label(),
+                task.kind,
+                result.finished - result.started,
+                result.started - submit_times.get(task.index, result.started),
+            )
+            if ambient is not None:
+                ambient.events.extend(result.events)
+            if not outcome.ok:
+                quarantine.setdefault(
+                    outcome.failure.key.quarantine_key(), outcome.failure
+                )
+            if task.kind == "attack":
+                attack_done(pool, task, outcome)
+            else:
+                cells.offer(task, outcome)
+
+        def recover(broken: ProcessPoolExecutor) -> ProcessPoolExecutor:
+            """Rebuild the pool after a worker death (kernel OOM kill,
+            segfault, injected ``oomkill``) and requeue the in-flight trials
+            one rung down the degradation ladder.
+
+            Futures that finished before the pool broke are salvaged and
+            merged normally — only trials with no result are re-dispatched.
+            A trial whose workers keep dying past the bottom of the ladder
+            becomes a structured infrastructure failure instead of an
+            endless kill loop.
+            """
+            salvaged: list[tuple[TrialTask, _WorkerResult]] = []
+            victims: list[TrialTask] = []
+            for future, task in sorted(
+                inflight.items(), key=lambda item: item[1].index
+            ):
+                result = None
+                if future.done():
                     try:
                         result = future.result()
-                    except BrokenProcessPool:
-                        raise
-                    except Exception as error:  # infrastructure failure
-                        result = _infrastructure_failure(task, error)
-                    outcome = result.outcome
-                    outcomes[task.index] = outcome
-                    timings.record(
-                        task.key.label(),
-                        task.kind,
-                        result.finished - result.started,
-                        result.started - submit_times.get(task.index, result.started),
+                    except BaseException:  # noqa: BLE001 — died with the pool
+                        result = None
+                if result is not None:
+                    salvaged.append((task, result))
+                else:
+                    victims.append(task)
+            inflight.clear()
+            broken.shutdown(wait=False, cancel_futures=True)
+            pool = self._make_pool()
+            for task, result in salvaged:
+                process(pool, task, result)
+            for task in victims:
+                kill_counts[task.index] = kill_counts.get(task.index, 0) + 1
+                degrade_levels[task.index] = min(
+                    degrade_levels.get(task.index, 0) + 1, MAX_DEGRADE_LEVEL
+                )
+                if kill_counts[task.index] > MAX_DEGRADE_LEVEL:
+                    process(
+                        pool,
+                        task,
+                        _infrastructure_failure(
+                            task,
+                            RuntimeError(
+                                f"pool worker died {kill_counts[task.index]} "
+                                f"times running {task.key.label()}; "
+                                "degradation ladder exhausted"
+                            ),
+                        ),
                     )
-                    if ambient is not None:
-                        ambient.events.extend(result.events)
-                    if not outcome.ok:
-                        quarantine.setdefault(
-                            outcome.failure.key.quarantine_key(), outcome.failure
-                        )
-                    if task.kind == "attack":
-                        attack_done(pool, task, outcome)
-                    else:
-                        cells.offer(task, outcome)
+                    continue
+                warnings.warn(
+                    f"{task.key.label()}: pool worker died (OOM kill or "
+                    f"crash); requeued at degradation level "
+                    f"{degrade_levels[task.index]}",
+                    DegradedWarning,
+                    stacklevel=3,
+                )
+                submit(pool, task)
+            return pool
+
+        pool = self._make_pool()
+        pending.extend(task for task in plan.tasks if task.depends_on is None)
+        try:
+            while True:
+                try:
+                    # Snapshot: submit() re-parks tasks on `pending` when the
+                    # pool is broken, and those must not respin this pass.
+                    batch, pending[:] = list(pending), []
+                    held = {t.index for t in inflight.values()}
+                    for task in batch:
+                        if task.index not in outcomes and task.index not in held:
+                            submit(pool, task)
+                    if not inflight:
+                        if pending:
+                            # Every dispatch bounced: the pool is broken
+                            # with nothing in flight.  Rebuild and retry.
+                            pool = recover(pool)
+                            continue
+                        break
+                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    # Canonical-index order within a completion batch keeps
+                    # the parent's bookkeeping deterministic under ties.
+                    for future in sorted(done, key=lambda f: inflight[f].index):
+                        task = inflight[future]
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            # Leave the future in flight: recover() will
+                            # classify it as a victim and requeue it.
+                            raise
+                        except Exception as error:  # infrastructure failure
+                            result = _infrastructure_failure(task, error)
+                        del inflight[future]
+                        process(pool, task, result)
+                except BrokenProcessPool:
+                    pool = recover(pool)
         except BaseException:
             # Injected kill / operator interrupt: drop queued work, let
             # in-flight trials drain, then propagate — the checkpoint holds
@@ -671,10 +800,33 @@ def make_executor(
     jobs: int = 1,
     blas_threads: Optional[int] = None,
     start_method: Optional[str] = None,
+    total_cores: Optional[int] = None,
 ):
-    """The executor for ``--jobs N``: serial for 1, process pool otherwise."""
+    """The executor for ``--jobs N``: serial for 1, process pool otherwise.
+
+    ``jobs`` above the machine's usable core count (``total_cores``
+    overrides detection, like :func:`~repro.utils.blas.plan_worker_threads`)
+    is clamped with a :class:`~repro.errors.CapacityWarning` — extra
+    workers would only multiply peak RSS while time-slicing the same
+    cores.  The clamp never drops below 2 once a pool was requested:
+    process isolation (and the dead-worker recovery it enables) is a
+    semantic choice, not just a speedup, so a 1-core machine still gets a
+    pool, only a smaller one.
+    """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    cores = cpu_count() if total_cores is None else int(total_cores)
+    if cores < 1:
+        raise ConfigError(f"total_cores must be >= 1, got {total_cores}")
+    limit = max(cores, 2) if jobs >= 2 else cores
+    if jobs > limit:
+        warnings.warn(
+            f"--jobs {jobs} exceeds the {cores} usable CPU core"
+            f"{'s' if cores != 1 else ''}; clamping to {limit}",
+            CapacityWarning,
+            stacklevel=2,
+        )
+        jobs = limit
     if jobs == 1:
         return SerialTrialExecutor()
     return ParallelTrialExecutor(jobs, blas_threads=blas_threads, start_method=start_method)

@@ -29,6 +29,8 @@ from ..datasets import load_dataset
 from ..defenses.base import Defender
 from ..graph import Graph
 from ..utils import faults
+from ..utils.keystore import KeyedArtifactStore
+from ..utils.resources import budget_check
 from .config import ExperimentScale, defender_names_for, make_attacker, make_defender
 from .supervisor import (
     RESEED_STRIDE,
@@ -127,7 +129,11 @@ class ExperimentRunner:
         # attack entry points, and defender fits (see repro.graph.validate).
         self.validate = validate
         self._graphs: dict[str, Graph] = {}
-        self._poisons: dict[tuple[str, str, float, int, float], AttackResult] = {}
+        # Poison cache: byte-accounted and evictable under the process
+        # --cache-bytes budget, but an entry stays *pinned* until a
+        # checkpoint archive holds a copy — eviction must never lose the
+        # only copy of a poison (checkpoint.load_poison is the reload path).
+        self._poisons = KeyedArtifactStore(f"poisons@{hex(id(self))}")
 
     # ------------------------------------------------------------------
     def graph(self, dataset: str) -> Graph:
@@ -165,14 +171,18 @@ class ExperimentRunner:
         """
         rate = self.config.rate if rate is None else rate
         key = self._poison_key(dataset, attacker_name, rate)
-        if key not in self._poisons:
+        result = self._poisons.get(key)
+        if result is None:
             if self.checkpoint is not None:
                 cached = self.checkpoint.load_poison(
                     dataset.lower(), attacker_name, rate, self.dataset_seed, self.config.scale
                 )
                 if cached is not None:
-                    self._poisons[key] = cached
+                    # The archive backs this entry, so it may be evicted and
+                    # transparently reloaded here on the next lookup.
+                    self._poisons.put(key, cached)
                     return cached
+            budget_check(f"attack {attacker_name} on {dataset}")
             faults.perturb(
                 "attacker",
                 dataset=dataset.lower(),
@@ -186,7 +196,7 @@ class ExperimentRunner:
             result = attacker.attack(
                 self.graph(dataset), perturbation_rate=rate, validate=self.validate
             )
-            self._poisons[key] = result
+            self._poisons.put(key, result, pinned=True)
             if self.checkpoint is not None:
                 self.checkpoint.save_poison(
                     dataset.lower(),
@@ -196,7 +206,8 @@ class ExperimentRunner:
                     self.config.scale,
                     result,
                 )
-        return self._poisons[key]
+                self._poisons.unpin(key)
+        return result
 
     # ------------------------------------------------------------------
     def evaluate_defender(
@@ -259,13 +270,14 @@ class ExperimentRunner:
 
         def poison_lookup(attacker_name: str) -> Optional[AttackResult]:
             key = self._poison_key(dataset, attacker_name, rate)
-            if key not in self._poisons and self.checkpoint is not None:
-                cached = self.checkpoint.load_poison(
+            result = self._poisons.get(key)
+            if result is None and self.checkpoint is not None:
+                result = self.checkpoint.load_poison(
                     dataset.lower(), attacker_name, rate, self.dataset_seed, self.config.scale
                 )
-                if cached is not None:
-                    self._poisons[key] = cached
-            return self._poisons.get(key)
+                if result is not None:
+                    self._poisons.put(key, result)
+            return result
 
         def poison_path(attacker_name: str) -> Optional[str]:
             if self.checkpoint is None:
@@ -276,9 +288,10 @@ class ExperimentRunner:
             return str(path) if path.exists() else None
 
         def store_poison(attacker_name: str, result: AttackResult):
-            self._poisons[self._poison_key(dataset, attacker_name, rate)] = result
+            key = self._poison_key(dataset, attacker_name, rate)
+            self._poisons.put(key, result, pinned=True)
             if self.checkpoint is not None:
-                return self.checkpoint.save_poison(
+                digest = self.checkpoint.save_poison(
                     dataset.lower(),
                     attacker_name,
                     rate,
@@ -286,6 +299,8 @@ class ExperimentRunner:
                     self.config.scale,
                     result,
                 )
+                self._poisons.unpin(key)
+                return digest
             return None
 
         def record_cell(attacker_name: str, defender_name: str, values: list[float]):

@@ -37,7 +37,15 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Union
 
 from ..attacks.base import AttackResult
-from ..errors import ConfigError, DeadlineError, GraphError, IntegrityWarning, TrialError
+from ..errors import (
+    ConfigError,
+    DeadlineError,
+    DegradedWarning,
+    GraphError,
+    IntegrityWarning,
+    ResourceError,
+    TrialError,
+)
 from ..io import (
     SerializationError,
     journal_record_digest,
@@ -45,6 +53,13 @@ from ..io import (
     save_attack_result,
 )
 from ..utils import faults
+from ..utils.keystore import estimate_nbytes
+from ..utils.resources import (
+    MAX_DEGRADE_LEVEL,
+    degraded_footprint,
+    require_free_disk,
+    with_disk_retry,
+)
 
 __all__ = [
     "RESEED_STRIDE",
@@ -63,6 +78,13 @@ PathLike = Union[str, Path]
 # the serial runner and the pool workers so a retried trial reseeds
 # identically no matter which process runs it.
 RESEED_STRIDE = 1_000_003
+
+
+def _memory_exhaustion(error: BaseException) -> bool:
+    """Does ``error`` mean the attempt ran out of memory (ladder-retriable)?"""
+    if isinstance(error, MemoryError):
+        return True
+    return isinstance(error, ResourceError) and error.resource == "memory"
 
 
 @dataclass(frozen=True)
@@ -228,9 +250,15 @@ class TrialSupervisor:
         started = time.perf_counter()
         last_error: Optional[BaseException] = None
         last_tb = ""
+        degrade = 0
         for attempt in range(self.policy.max_attempts):
             try:
-                value = self._attempt(key, fn, attempt)
+                # Level 0 is a no-op; after a memory-exhausted attempt the
+                # retry runs one rung down the degradation ladder (fewer
+                # BLAS threads, smaller candidate block, autodiff engine)
+                # instead of repeating the same allocation verbatim.
+                with degraded_footprint(degrade):
+                    value = self._attempt(key, fn, attempt)
                 return TrialOutcome(
                     key=key,
                     value=value,
@@ -240,6 +268,15 @@ class TrialSupervisor:
             except Exception as error:  # noqa: BLE001 — supervision boundary
                 last_error = error
                 last_tb = traceback.format_exc()
+                if _memory_exhaustion(error) and degrade < MAX_DEGRADE_LEVEL:
+                    degrade += 1
+                    warnings.warn(
+                        f"{key.label()}: attempt {attempt + 1} exhausted "
+                        f"memory ({error}); retrying at degradation level "
+                        f"{degrade}",
+                        DegradedWarning,
+                        stacklevel=2,
+                    )
                 if attempt + 1 < self.policy.max_attempts:
                     self._sleep(self.policy.backoff_for(attempt + 1))
 
@@ -419,9 +456,28 @@ class SweepCheckpoint:
     def _append(self, record: dict) -> None:
         record = dict(record)
         record["sha256"] = journal_record_digest(record)
-        with self._write_lock, open(self.journal_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record) + "\n")
-            handle.flush()
+        line = json.dumps(record) + "\n"
+
+        def write() -> None:
+            # Preflight on its own fault site ("journal_disk", not
+            # "journal") so disk_full injection never shifts the per-record
+            # ordinals bitflip rules count on the "journal" site.
+            require_free_disk(
+                self.journal_path,
+                len(line.encode("utf-8")),
+                site="journal_disk",
+                kind=record.get("kind"),
+            )
+            with self._write_lock, open(
+                self.journal_path, "a", encoding="utf-8"
+            ) as handle:
+                handle.write(line)
+                handle.flush()
+
+        # Journal appends run in the sweep's parent process with no
+        # supervisor above them; bounded retries ride out transient disk
+        # pressure instead of crashing a sweep that is 99% journalled.
+        with_disk_retry(write)
         if faults.damage(
             "journal",
             kind=record.get("kind"),
@@ -523,7 +579,20 @@ class SweepCheckpoint:
         result: AttackResult,
     ) -> Path:
         path = self.poison_path(dataset, attacker, rate, dataset_seed, scale)
-        save_attack_result(result, path)
+
+        def write() -> None:
+            # In-memory footprint over-estimates the compressed archive, so
+            # the preflight errs on the safe side of a torn write.
+            require_free_disk(
+                path,
+                estimate_nbytes(result),
+                site="poison_disk",
+                dataset=dataset,
+                attacker=attacker,
+            )
+            save_attack_result(result, path)
+
+        with_disk_retry(write)
         if faults.damage(
             "poison_archive", dataset=dataset, attacker=attacker, rate=rate
         ):

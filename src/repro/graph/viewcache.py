@@ -20,6 +20,11 @@ The cache is deliberately ambient (module-level, thread-safe):
   stay bit-identical across ``--jobs 1`` / ``--jobs N`` and across
   cold/warm caches.
 
+Storage lives in a :class:`~repro.utils.keystore.KeyedArtifactStore`, so
+entries are byte-accounted, LRU-evicted past the entry capacity, and count
+against the process-wide ``--cache-bytes`` budget shared with the SGC
+propagation memo and the runner's poison cache.
+
 Entries are returned as *copies* so callers can mutate their operator (GNAT
 normalizes views in place of fresh objects) without poisoning the cache.
 Set ``REPRO_VIEW_CACHE=0`` to disable caching entirely.
@@ -29,12 +34,12 @@ from __future__ import annotations
 
 import hashlib
 import os
-import threading
-from collections import OrderedDict
 from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
+
+from ..utils.keystore import KeyedArtifactStore
 
 __all__ = [
     "cached_operator",
@@ -47,12 +52,7 @@ __all__ = [
 
 _DEFAULT_CAPACITY = 32
 
-_lock = threading.Lock()
-_store: "OrderedDict[tuple, sp.csr_matrix]" = OrderedDict()
-_capacity = _DEFAULT_CAPACITY
-_hits = 0
-_misses = 0
-_evictions = 0
+_store = KeyedArtifactStore("view-operators", max_entries=_DEFAULT_CAPACITY)
 
 
 def _enabled() -> bool:
@@ -85,54 +85,37 @@ def cached_operator(
     ``build`` must be deterministic in the fingerprinted inputs; the result
     is stored once and copied out on every hit, so callers own their matrix.
     """
-    global _hits, _misses, _evictions
     if not _enabled():
         return build().tocsr()
     key = (kind, fingerprint)
-    with _lock:
-        cached = _store.get(key)
-        if cached is not None:
-            _store.move_to_end(key)
-            _hits += 1
+    cached = _store.get(key)
     if cached is not None:
         return cached.copy()
     value = build().tocsr()
-    with _lock:
-        _misses += 1
-        _store[key] = value
-        _store.move_to_end(key)
-        while len(_store) > _capacity:
-            _store.popitem(last=False)
-            _evictions += 1
+    _store.put(key, value)
     return value.copy()
 
 
 def view_cache_stats() -> dict:
-    """Hit/miss/eviction counters and the current entry count."""
-    with _lock:
-        return {
-            "hits": _hits,
-            "misses": _misses,
-            "evictions": _evictions,
-            "entries": len(_store),
-            "capacity": _capacity,
-        }
+    """Hit/miss/eviction counters, entry count, and byte footprint."""
+    stats = _store.stats()
+    return {
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "evictions": stats["evictions"],
+        "entries": stats["entries"],
+        "capacity": stats["max_entries"],
+        "bytes": stats["bytes"],
+    }
 
 
 def clear_view_cache() -> None:
     """Drop every entry and reset the counters (used by tests/benchmarks)."""
-    global _hits, _misses, _evictions
-    with _lock:
-        _store.clear()
-        _hits = _misses = _evictions = 0
+    _store.clear()
 
 
 def set_view_cache_capacity(capacity: int) -> None:
     """Bound the number of cached operators (LRU eviction beyond it)."""
-    global _capacity
     if capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {capacity}")
-    with _lock:
-        _capacity = int(capacity)
-        while len(_store) > _capacity:
-            _store.popitem(last=False)
+    _store.resize(max_entries=int(capacity))

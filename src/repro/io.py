@@ -40,6 +40,7 @@ __all__ = [
     "load_attack_result",
     "array_digest",
     "journal_record_digest",
+    "atomic_write_json",
 ]
 
 _FORMAT_VERSION = 2
@@ -142,13 +143,37 @@ def _graph_from_payload(
     return validate_graph(graph, policy=validate, context=str(path))
 
 
+def _fsync_path(path: Path) -> None:
+    """``fsync`` a file so a rename-over is durable, not just atomic."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """``fsync`` the directory entry after ``os.replace`` (best effort —
+    some filesystems refuse directory fds)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_savez(path: PathLike, payload: dict[str, np.ndarray]) -> None:
     """Write an ``.npz`` atomically: a kill mid-write never corrupts ``path``.
 
     Checkpoint archives are re-read on resume, so a torn write must leave
     either the old file or nothing — write to a same-directory temp name
-    (kept ``.npz``-suffixed so NumPy does not append an extension) and
-    ``os.replace`` into place.
+    (kept ``.npz``-suffixed so NumPy does not append an extension), fsync,
+    and ``os.replace`` into place.
     """
     path = Path(path)
     if path.suffix != ".npz":  # match np.savez's extension-appending behaviour
@@ -156,7 +181,27 @@ def _atomic_savez(path: PathLike, payload: dict[str, np.ndarray]) -> None:
     tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}.npz")
     try:
         np.savez_compressed(tmp, **payload)
+        _fsync_path(tmp)
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_json(path: PathLike, payload: dict, indent: int = 2) -> None:
+    """Write a JSON document atomically and durably (temp + fsync + rename).
+
+    Benchmark reports and other machine-read summaries go through here: a
+    power cut or OOM kill mid-write leaves either the previous file or
+    nothing, never a half-written document that breaks the next parser.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
+        _fsync_path(tmp)
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
     finally:
         tmp.unlink(missing_ok=True)
 

@@ -7,7 +7,7 @@ from .gcn import GCN, GraphConvolution
 from .metrics import accuracy, confusion_matrix
 from .module import Module
 from .sage import GraphSAGE, mean_aggregator
-from .sgc import SGC
+from .sgc import SGC, clear_propagation_cache
 from .trainer import TrainConfig, TrainResult, evaluate, train_node_classifier
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "GAT",
     "GraphAttentionLayer",
     "SGC",
+    "clear_propagation_cache",
     "GraphSAGE",
     "mean_aggregator",
     "APPNP",

@@ -16,11 +16,12 @@ import scipy.sparse as sp
 
 from ..tensor import Tensor, functional as F, glorot_uniform, zeros
 from ..tensor.tensor import _needs_grad
+from ..utils.keystore import KeyedArtifactStore
 from ..utils.rng import SeedLike, ensure_rng
 from .gcn import AdjacencyLike, _propagate
 from .module import Module
 
-__all__ = ["SGC"]
+__all__ = ["SGC", "clear_propagation_cache"]
 
 
 def _adjacency_fingerprint(adjacency: sp.csr_matrix) -> tuple:
@@ -32,6 +33,26 @@ def _adjacency_fingerprint(adjacency: sp.csr_matrix) -> tuple:
     return (adjacency.shape, adjacency.nnz, digest.digest())
 
 
+def _features_fingerprint(data: np.ndarray) -> tuple:
+    """Content hash of a dense feature matrix (shape, dtype, blake2b)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(data).tobytes())
+    return (data.shape, str(data.dtype), digest.digest())
+
+
+# Shared across SGC instances: A_n^K X depends only on graph content and
+# k_hops, never on the weights, so every victim seed of a sweep cell (and
+# both training engines) reuse one propagation.  Byte-accounted and
+# LRU-evicted under the process ``--cache-bytes`` budget; an evicted entry
+# is simply recomputed on the next forward.
+_PROPAGATION_STORE = KeyedArtifactStore("sgc-propagation", max_entries=8)
+
+
+def clear_propagation_cache() -> None:
+    """Drop every memoized ``A_n^K X`` (tests asserting propagation counts)."""
+    _PROPAGATION_STORE.clear()
+
+
 class SGC(Module):
     """K-step propagation followed by one linear layer.
 
@@ -41,14 +62,19 @@ class SGC(Module):
 
     ``A_n^K X`` involves no parameters, so across a training run it is the
     same ``k_hops`` sparse products recomputed every epoch.  The forward
-    pass memoizes the propagated features for the latest (adjacency,
-    features) pair — keyed cheaply by object identity, revalidated by a
-    content fingerprint of the adjacency, mirroring the surrogate's
-    :class:`~repro.surrogate.cache.PropagationCache` keying — and recomputes
-    silently whenever either changes.  The memo is bypassed when the
-    features tensor itself participates in autodiff (the cached result
-    carries no backward closure).  ``propagation_count`` counts actual
-    propagation passes so tests can assert reuse.
+    pass memoizes the propagated features in a process-wide
+    :class:`~repro.utils.keystore.KeyedArtifactStore` keyed by *content*
+    (adjacency and feature fingerprints plus ``k_hops``), with a cheap
+    per-instance identity fast path revalidated by the adjacency
+    fingerprint — mirroring the surrogate's
+    :class:`~repro.surrogate.cache.PropagationCache` keying.  Content
+    keying means different SGC instances (victim seeds, training engines)
+    on the same graph share one propagation, and a mutated adjacency can
+    never hit a stale entry.  The memo is bypassed when the features
+    tensor itself participates in autodiff (the cached result carries no
+    backward closure).  ``propagation_count`` counts actual propagation
+    passes so tests can assert reuse (clear the shared store first via
+    :func:`clear_propagation_cache`).
     """
 
     def __init__(
@@ -68,20 +94,25 @@ class SGC(Module):
         self.propagation_count = 0
         self._memo_key: Optional[tuple] = None
         self._memo_fingerprint: Optional[tuple] = None
-        self._memo_value: Optional[Tensor] = None
+        self._memo_store_key: Optional[tuple] = None
 
     def _propagated(self, adjacency: AdjacencyLike, h: Tensor) -> Tensor:
         if not sp.issparse(adjacency) or _needs_grad(h):
             return self._propagate_all(adjacency, h)
         key = (id(adjacency), id(h.data), self.k_hops)
-        if self._memo_key == key and self._memo_fingerprint == _adjacency_fingerprint(
-            adjacency
-        ):
-            return self._memo_value
+        adj_fp = _adjacency_fingerprint(adjacency)
+        if not (self._memo_key == key and self._memo_fingerprint == adj_fp):
+            # New (adjacency, features) pairing or mutated adjacency: rebuild
+            # the content key (hashing features is the expensive part, so it
+            # only happens here, not on the per-epoch fast path).
+            self._memo_key = key
+            self._memo_fingerprint = adj_fp
+            self._memo_store_key = (adj_fp, _features_fingerprint(h.data), self.k_hops)
+        cached = _PROPAGATION_STORE.get(self._memo_store_key)
+        if cached is not None:
+            return cached
         value = self._propagate_all(adjacency, h)
-        self._memo_key = key
-        self._memo_fingerprint = _adjacency_fingerprint(adjacency)
-        self._memo_value = value
+        _PROPAGATION_STORE.put(self._memo_store_key, value)
         return value
 
     def _propagate_all(self, adjacency: AdjacencyLike, h: Tensor) -> Tensor:

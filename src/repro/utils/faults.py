@@ -30,6 +30,25 @@ Fault actions:
     (``"poison_archive"``, ``"journal"``): the checkpoint layer then flips a
     byte of the artifact it just wrote, exercising digest verification and
     quarantine-and-regenerate recovery end to end.
+``oom``
+    Raise ``MemoryError`` — drives the degradation ladders (supervisor
+    retries at a reduced footprint, block attackers shrink their candidate
+    block) without needing to actually exhaust RAM.
+``oomkill``
+    Call ``os._exit(137)``, the exit status the kernel OOM killer leaves
+    behind.  Inside a ``--jobs`` pool worker this breaks the process pool,
+    exercising the parent's dead-worker detection and requeue ladder; in
+    the parent it models a real OOM kill of the sweep (resume covers it).
+    ``times`` defaults to 1 so a requeued trial does not re-fire forever
+    (the scheduler ships the prior kill count to the replacement worker).
+``disk_full``
+    Make :func:`exhausted` return ``True`` at a disk-preflight site
+    (``"journal_disk"``, ``"poison_disk"`` — distinct from the ``bitflip``
+    persistence sites, so injected exhaustion never shifts their
+    per-record ordinals): the preflight in
+    :func:`repro.utils.resources.require_free_disk` then reports 0 free
+    bytes and raises a structured ``ResourceError``, exercising the
+    ENOSPC recovery paths without filling a disk.
 
 Rules match on the call ``site`` (``"attacker"``, ``"defender"``,
 ``"trainer"``), optionally on the per-site invocation index (``at=``), and
@@ -69,14 +88,16 @@ __all__ = [
     "perturb",
     "corrupt",
     "damage",
+    "exhausted",
 ]
 
 ENV_VAR = "REPRO_FAULTS"
 
-_PERTURB_ACTIONS = ("throw", "hang", "kill")
+_PERTURB_ACTIONS = ("throw", "hang", "kill", "oom", "oomkill")
 _CORRUPT_ACTIONS = ("nan",)
 _DAMAGE_ACTIONS = ("bitflip",)
-_ACTIONS = _PERTURB_ACTIONS + _CORRUPT_ACTIONS + _DAMAGE_ACTIONS
+_EXHAUST_ACTIONS = ("disk_full",)
+_ACTIONS = _PERTURB_ACTIONS + _CORRUPT_ACTIONS + _DAMAGE_ACTIONS + _EXHAUST_ACTIONS
 
 
 class InjectedFault(RuntimeError):
@@ -126,6 +147,11 @@ class FaultSpec:
             raise ConfigError(
                 f"unknown fault action {self.action!r}; choose from {_ACTIONS}"
             )
+        if self.action == "oomkill" and self.times is None:
+            # A process kill erases the injector that fired it; the
+            # replacement worker gets a fresh spec with the prior kill
+            # count pre-fired, which only disarms a bounded rule.
+            self.times = 1
 
     def matches(self, index: int, context: dict) -> bool:
         if self.times is not None and self.fired >= self.times:
@@ -244,7 +270,7 @@ class FaultInjector:
         return None
 
     def perturb(self, site: str, **context) -> None:
-        """Raise/hang if a throw/hang/kill rule matches this invocation."""
+        """Raise/hang/exit if a throw/hang/kill/oom/oomkill rule matches."""
         spec = self._trigger(site, context, _PERTURB_ACTIONS)
         if spec is None:
             return
@@ -252,6 +278,12 @@ class FaultInjector:
             raise InjectedFault(f"injected fault at {site} {context}")
         if spec.action == "kill":
             raise InjectedKill(f"injected kill at {site} {context}")
+        if spec.action == "oom":
+            raise MemoryError(f"injected OOM at {site} {context}")
+        if spec.action == "oomkill":
+            # The kernel OOM killer sends SIGKILL: no cleanup, no excepthook.
+            # os._exit(137) is the closest faithful, portable stand-in.
+            os._exit(137)
         time.sleep(spec.seconds)
 
     def corrupt(self, site: str, value: float, **context) -> float:
@@ -268,6 +300,16 @@ class FaultInjector:
         quarantine-and-regenerate paths deterministically.
         """
         return self._trigger(site, context, _DAMAGE_ACTIONS) is not None
+
+    def exhausted(self, site: str, **context) -> bool:
+        """True when a ``disk_full`` rule matches this invocation.
+
+        The disk preflight (:func:`repro.utils.resources.require_free_disk`)
+        consults this hook and, when it fires, reports 0 free bytes —
+        raising the same structured ``ResourceError`` a genuinely full
+        disk would, deterministically.
+        """
+        return self._trigger(site, context, _EXHAUST_ACTIONS) is not None
 
 
 # ---------------------------------------------------------------------------
@@ -323,4 +365,11 @@ def damage(site: str, **context) -> bool:
     """Module-level hook: False unless an installed bitflip rule matches."""
     if _ACTIVE is not None:
         return _ACTIVE.damage(site, **context)
+    return False
+
+
+def exhausted(site: str, **context) -> bool:
+    """Module-level hook: False unless an installed disk_full rule matches."""
+    if _ACTIVE is not None:
+        return _ACTIVE.exhausted(site, **context)
     return False

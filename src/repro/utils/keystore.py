@@ -1,0 +1,481 @@
+"""One capacity-governed store behind every content-fingerprint cache.
+
+Three memoization layers grew up independently — the SGC ``A_n^k X`` memo,
+the view-operator cache (:mod:`repro.graph.viewcache`), and the experiment
+runner's poison cache — each keyed by content fingerprints, each with its
+own (or no) eviction policy, and none of them byte-accounted.  A 1M-node
+sweep can pin gigabytes in "caches" that nothing ever measures.  This
+module closes ROADMAP item 5's refactor rider: a single
+:class:`KeyedArtifactStore` primitive that every cache layers on, with
+
+* **byte-accounted LRU eviction** — every entry carries its payload size
+  (``estimate_nbytes`` when the caller does not know better) and a global
+  monotonic access tick; eviction always removes the globally
+  least-recently-used *evictable* entry, across stores, until the
+  configured budget is met;
+* **one shared byte budget** — :func:`set_cache_bytes` (CLI
+  ``--cache-bytes``, env ``REPRO_CACHE_BYTES``) caps the *sum* of all
+  registered stores, which is exactly the single eviction/capacity policy
+  the always-on service layer (ROADMAP item 3) needs;
+* **optional spill-to-disk** — a store constructed with ``spill_dir`` +
+  ``dump``/``load`` callbacks writes evicted payloads to disk and reloads
+  them on the next hit instead of recomputing;
+* **pinning** — entries whose only copy lives in memory (a poison graph
+  with no checkpoint archive behind it) are never evicted.
+
+Memory pressure integrates through :mod:`repro.utils.resources`: install a
+:class:`~repro.utils.resources.MemoryBudget` with an 80% watermark calling
+:func:`evict_fraction` and the caches shrink *before* the kernel's OOM
+killer gets a vote.
+
+Thread-safety: one module-level lock covers every store (operations are
+dict moves and counter bumps — contention is irrelevant next to the
+matmuls being cached), which makes cross-store global eviction trivially
+deadlock-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import sys
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Hashable, Optional, Union
+
+from ..errors import ConfigError
+
+__all__ = [
+    "CACHE_BYTES_ENV_VAR",
+    "KeyedArtifactStore",
+    "estimate_nbytes",
+    "set_cache_bytes",
+    "cache_bytes_budget",
+    "total_cache_bytes",
+    "evict_fraction",
+    "cache_report",
+    "clear_all_stores",
+]
+
+CACHE_BYTES_ENV_VAR = "REPRO_CACHE_BYTES"
+
+_lock = threading.RLock()
+_tick = itertools.count(1)
+_stores: "list[weakref.ref[KeyedArtifactStore]]" = []
+_budget_bytes: Optional[int] = None
+_budget_from_env = False
+
+
+def estimate_nbytes(value: Any) -> int:
+    """Best-effort payload size in bytes for cache accounting.
+
+    Understands numpy arrays, scipy sparse matrices, the repro ``Tensor``
+    (any object exposing a ``data`` ndarray), ``Graph`` (adjacency +
+    features + labels + masks), ``AttackResult`` (both carried graphs +
+    flip lists), and containers of those; anything else falls back to
+    ``sys.getsizeof``.  Estimates are for *accounting*, not allocation:
+    being a few percent off just moves an eviction threshold.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, (int, float)):  # numpy arrays and scalars
+        return int(nbytes)
+    if hasattr(value, "indptr") and hasattr(value, "indices"):  # CSR/CSC
+        return int(
+            value.data.nbytes + value.indices.nbytes + value.indptr.nbytes
+        )
+    if hasattr(value, "tocsr") and hasattr(value, "nnz"):  # other sparse
+        return estimate_nbytes(value.tocsr())
+    if hasattr(value, "adjacency") and hasattr(value, "features"):  # Graph
+        total = estimate_nbytes(value.adjacency) + estimate_nbytes(value.features)
+        for name in ("labels", "train_mask", "val_mask", "test_mask"):
+            extra = getattr(value, name, None)
+            if extra is not None:
+                total += estimate_nbytes(extra)
+        return total
+    if hasattr(value, "original") and hasattr(value, "poisoned"):  # AttackResult
+        return (
+            estimate_nbytes(value.original)
+            + estimate_nbytes(value.poisoned)
+            + 16 * (len(value.edge_flips) + len(value.feature_flips))
+            + 8 * len(value.objective_trace)
+        )
+    data = getattr(value, "data", None)
+    if data is not None and hasattr(data, "nbytes"):  # Tensor
+        return int(data.nbytes)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sys.getsizeof(value) + sum(estimate_nbytes(item) for item in value)
+    if isinstance(value, dict):
+        return sys.getsizeof(value) + sum(
+            estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items()
+        )
+    return sys.getsizeof(value)
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+    tick: int
+    pinned: bool = False
+
+
+@dataclass
+class StoreStats:
+    """Counters one store exposes (see :meth:`KeyedArtifactStore.stats`)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    spills: int = 0
+    spill_hits: int = 0
+    rejected_pins: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class KeyedArtifactStore:
+    """Byte-accounted, LRU-evicted, optionally disk-spilling keyed store.
+
+    Parameters
+    ----------
+    name:
+        Label for :func:`cache_report` and spill filenames.
+    capacity_bytes / max_entries:
+        Per-store ceilings (``None`` = only the global budget applies).
+    spill_dir, dump, load:
+        When all three are given, evicted payloads are written via
+        ``dump(value, path)`` and transparently reloaded with
+        ``load(path)`` on the next :meth:`get` — a spill hit re-admits the
+        entry (which may evict something else).  Spill files are removed
+        on :meth:`clear` and on re-admission.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
+        dump: Optional[Callable[[Any, Path], None]] = None,
+        load: Optional[Callable[[Path], Any]] = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ConfigError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise ConfigError(f"max_entries must be >= 1, got {max_entries}")
+        if (spill_dir is not None) and (dump is None or load is None):
+            raise ConfigError("spill_dir requires both dump and load callbacks")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.max_entries = max_entries
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._dump = dump
+        self._load = load
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._spilled: dict[Hashable, Path] = {}
+        self._stats = StoreStats()
+        self.total_bytes = 0
+        with _lock:
+            _stores.append(weakref.ref(self))
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value, reloaded from spill if needed, else ``default``."""
+        with _lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.tick = next(_tick)
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return entry.value
+            path = self._spilled.get(key)
+            if path is None:
+                self._stats.misses += 1
+                return default
+        # Load outside the lock (disk I/O), re-admit under it.
+        try:
+            value = self._load(path)  # type: ignore[misc]
+        except Exception:
+            # A vanished or corrupt spill file is just a cache miss.
+            with _lock:
+                self._spilled.pop(key, None)
+                self._stats.misses += 1
+            return default
+        with _lock:
+            self._spilled.pop(key, None)
+        path.unlink(missing_ok=True)
+        self._stats.spill_hits += 1
+        self.put(key, value)
+        return value
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        nbytes: Optional[int] = None,
+        pinned: bool = False,
+    ) -> Any:
+        """Insert (or refresh) ``key`` and enforce every byte ceiling."""
+        size = int(nbytes) if nbytes is not None else estimate_nbytes(value)
+        with _lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.total_bytes -= previous.nbytes
+            self._entries[key] = _Entry(
+                value=value, nbytes=size, tick=next(_tick), pinned=pinned
+            )
+            self.total_bytes += size
+            self._enforce_local()
+            _enforce_global()
+        return value
+
+    def resize(
+        self,
+        capacity_bytes: Any = ...,
+        max_entries: Any = ...,
+    ) -> None:
+        """Change a ceiling (``None`` lifts it) and enforce it immediately."""
+        with _lock:
+            if capacity_bytes is not ...:
+                if capacity_bytes is not None and capacity_bytes < 0:
+                    raise ConfigError(
+                        f"capacity_bytes must be >= 0, got {capacity_bytes}"
+                    )
+                self.capacity_bytes = capacity_bytes
+            if max_entries is not ...:
+                if max_entries is not None and max_entries < 1:
+                    raise ConfigError(f"max_entries must be >= 1, got {max_entries}")
+                self.max_entries = max_entries
+            self._enforce_local()
+            _enforce_global()
+
+    def unpin(self, key: Hashable) -> None:
+        """Make a previously pinned entry evictable (e.g. once a disk copy
+        of the payload exists)."""
+        with _lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.pinned = False
+
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key`` (memory and spill) if present."""
+        with _lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self.total_bytes -= entry.nbytes
+            path = self._spilled.pop(key, None)
+        if path is not None:
+            path.unlink(missing_ok=True)
+
+    def clear(self) -> None:
+        """Drop every entry and spill file; reset the counters."""
+        with _lock:
+            self._entries.clear()
+            self.total_bytes = 0
+            spilled = list(self._spilled.values())
+            self._spilled.clear()
+            self._stats = StoreStats()
+        for path in spilled:
+            path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        with _lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with _lock:
+            return key in self._entries or key in self._spilled
+
+    def keys(self) -> list:
+        with _lock:
+            return list(self._entries)
+
+    def stats(self) -> dict:
+        with _lock:
+            stats = self._stats.as_dict()
+            stats["entries"] = len(self._entries)
+            stats["bytes"] = self.total_bytes
+            stats["capacity_bytes"] = self.capacity_bytes
+            stats["max_entries"] = self.max_entries
+            stats["spilled"] = len(self._spilled)
+            return stats
+
+    # ------------------------------------------------------------------
+    def _lru_evictable(self) -> Optional[Hashable]:
+        for key, entry in self._entries.items():  # OrderedDict: LRU first
+            if not entry.pinned:
+                return key
+        return None
+
+    def _evict_one(self, key: Hashable) -> None:
+        """Remove ``key``, spilling its payload first when configured.
+
+        Caller holds the lock.  The dump itself happens while holding it
+        too — spills are rare (eviction-only) and the alternative invites
+        a torn store under concurrent eviction.
+        """
+        entry = self._entries.pop(key)
+        self.total_bytes -= entry.nbytes
+        self._stats.evictions += 1
+        if self.spill_dir is not None:
+            digest = hashlib.blake2b(
+                repr(key).encode(), digest_size=12
+            ).hexdigest()
+            path = self.spill_dir / f"{self.name}-{digest}.spill"
+            try:
+                self.spill_dir.mkdir(parents=True, exist_ok=True)
+                self._dump(entry.value, path)  # type: ignore[misc]
+            except Exception:
+                path.unlink(missing_ok=True)  # spill is best-effort
+            else:
+                self._spilled[key] = path
+                self._stats.spills += 1
+
+    def _enforce_local(self) -> None:
+        """Evict (globally-oldest-first is irrelevant within one store —
+        OrderedDict order IS this store's LRU) until local ceilings hold."""
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            key = self._lru_evictable()
+            if key is None:
+                self._stats.rejected_pins += 1
+                break
+            self._evict_one(key)
+        while (
+            self.capacity_bytes is not None and self.total_bytes > self.capacity_bytes
+        ):
+            key = self._lru_evictable()
+            if key is None:
+                self._stats.rejected_pins += 1
+                break
+            self._evict_one(key)
+
+
+# ---------------------------------------------------------------------------
+# Global budget across every registered store
+
+
+def _live_stores() -> list[KeyedArtifactStore]:
+    alive: list[KeyedArtifactStore] = []
+    dead = False
+    for ref in _stores:
+        store = ref()
+        if store is None:
+            dead = True
+        else:
+            alive.append(store)
+    if dead:
+        _stores[:] = [ref for ref in _stores if ref() is not None]
+    return alive
+
+
+def _resolved_budget() -> Optional[int]:
+    global _budget_bytes, _budget_from_env
+    if _budget_bytes is None and not _budget_from_env:
+        raw = os.environ.get(CACHE_BYTES_ENV_VAR, "").strip()
+        _budget_from_env = True
+        if raw and raw != "0":
+            from .resources import parse_bytes
+
+            _budget_bytes = parse_bytes(raw)
+    return _budget_bytes
+
+
+def _enforce_global() -> None:
+    """Caller holds the lock: evict the globally least-recently-used
+    evictable entry (across stores) until the shared budget holds."""
+    budget = _resolved_budget()
+    if budget is None:
+        return
+    stores = _live_stores()
+    while sum(s.total_bytes for s in stores) > budget:
+        oldest_store: Optional[KeyedArtifactStore] = None
+        oldest_key: Optional[Hashable] = None
+        oldest_tick = None
+        for store in stores:
+            key = store._lru_evictable()
+            if key is None:
+                continue
+            tick = store._entries[key].tick
+            if oldest_tick is None or tick < oldest_tick:
+                oldest_store, oldest_key, oldest_tick = store, key, tick
+        if oldest_store is None:
+            break  # everything left is pinned
+        oldest_store._evict_one(oldest_key)
+
+
+def set_cache_bytes(total: Optional[int]) -> None:
+    """Set (or, with ``None``, lift) the shared byte budget over all stores.
+
+    Takes effect immediately: excess entries are evicted globally-LRU-first.
+    """
+    global _budget_bytes, _budget_from_env
+    if total is not None and total < 0:
+        raise ConfigError(f"cache byte budget must be >= 0, got {total}")
+    with _lock:
+        _budget_bytes = int(total) if total is not None else None
+        _budget_from_env = True  # explicit call overrides the env default
+        _enforce_global()
+
+
+def cache_bytes_budget() -> Optional[int]:
+    """The shared byte budget (``None`` = unlimited)."""
+    with _lock:
+        return _resolved_budget()
+
+
+def total_cache_bytes() -> int:
+    """Bytes currently held across every registered store."""
+    with _lock:
+        return sum(store.total_bytes for store in _live_stores())
+
+
+def evict_fraction(fraction: float = 0.5) -> int:
+    """Evict globally-LRU entries until ``fraction`` of current cache bytes
+    are released; returns the bytes freed.  This is the callback the memory
+    watermark installs — under RSS pressure the caches shrink first.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+    with _lock:
+        stores = _live_stores()
+        before = sum(s.total_bytes for s in stores)
+        target = int(before * (1.0 - fraction))
+        while sum(s.total_bytes for s in stores) > target:
+            oldest_store: Optional[KeyedArtifactStore] = None
+            oldest_key: Optional[Hashable] = None
+            oldest_tick = None
+            for store in stores:
+                key = store._lru_evictable()
+                if key is None:
+                    continue
+                tick = store._entries[key].tick
+                if oldest_tick is None or tick < oldest_tick:
+                    oldest_store, oldest_key, oldest_tick = store, key, tick
+            if oldest_store is None:
+                break
+            oldest_store._evict_one(oldest_key)
+        return before - sum(s.total_bytes for s in stores)
+
+
+def cache_report() -> dict:
+    """Per-store stats plus the shared totals (for tests and diagnostics)."""
+    with _lock:
+        stores = {store.name: store.stats() for store in _live_stores()}
+        return {
+            "budget_bytes": _resolved_budget(),
+            "total_bytes": sum(s["bytes"] for s in stores.values()),
+            "stores": stores,
+        }
+
+
+def clear_all_stores() -> None:
+    """Drop every entry in every registered store (tests/benchmarks)."""
+    for store in list(_live_stores()):
+        store.clear()

@@ -1,0 +1,413 @@
+"""Resource governance: memory budgets, disk preflights, degradation ladders.
+
+PR 6 pushed attacks to the 100k–1M-node tiers, where the binding constraint
+stops being wall-time and becomes *capacity*: a PRBCD candidate block that
+does not fit in RAM, a pool worker the kernel OOM-kills with exitcode −9,
+unbounded cache growth across a sweep, and torn writes when the disk fills
+mid-archive.  This module is the shared vocabulary the rest of the harness
+uses to detect those conditions early and degrade gracefully instead of
+dying:
+
+:class:`MemoryBudget`
+    Tracks the process RSS (read from ``/proc/self/status`` — no new
+    dependencies) against a byte ceiling, with *watermark callbacks*: a
+    callback registered at fraction ``f`` fires once each time RSS crosses
+    ``f × limit`` upward and re-arms when it falls back below.  The cache
+    layer registers an eviction callback at 80% so memory pressure shrinks
+    the :mod:`repro.utils.keystore` stores before the kernel gets involved.
+
+:func:`require_free_disk`
+    Preflight for archive/journal writes: raises a structured
+    :class:`~repro.errors.ResourceError` naming the path and the bytes
+    needed instead of letting the filesystem tear the write halfway.
+    Consult-able fault injection (``disk_full`` rules, see
+    :mod:`repro.utils.faults`) makes the ENOSPC path chaos-testable.
+
+:func:`degraded_footprint`
+    The degradation ladder: a context manager applying rung ``level`` of
+    :data:`DEGRADATION_LADDER` (fewer BLAS threads, halved
+    ``REPRO_BLOCK_SIZE``, fused→autodiff engine fallback) around a retried
+    trial.  The supervisor climbs one rung per ``MemoryError`` attempt and
+    the parallel scheduler climbs one rung per pool-worker death, so a
+    trial that OOMs is re-run smaller, not verbatim.
+
+Budgets install ambiently (like :mod:`repro.utils.faults`): the CLI's
+``--memory-budget`` exports ``REPRO_MEMORY_BUDGET`` so ``--jobs`` pool
+workers govern themselves with the same ceiling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+from ..errors import ConfigError, ResourceError
+from . import faults
+
+__all__ = [
+    "MEMORY_BUDGET_ENV_VAR",
+    "DEGRADATION_LADDER",
+    "MAX_DEGRADE_LEVEL",
+    "MemoryBudget",
+    "Watermark",
+    "parse_bytes",
+    "format_bytes",
+    "rss_bytes",
+    "free_disk_bytes",
+    "require_free_disk",
+    "with_disk_retry",
+    "degraded_footprint",
+    "install_budget",
+    "current_budget",
+    "active_budget",
+    "budget_from_env",
+    "budget_check",
+]
+
+MEMORY_BUDGET_ENV_VAR = "REPRO_MEMORY_BUDGET"
+
+_UNITS = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_bytes(text: Union[str, int, float]) -> int:
+    """Parse a byte count with optional ``K``/``M``/``G``/``T`` suffix.
+
+    Accepts ``"512M"``, ``"2G"``, ``"1048576"``, or a plain number; the
+    ``B`` suffix (``"2GB"``) is tolerated.  Returns plain bytes.
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        unit = ""
+    else:
+        raw = text.strip().lower().removesuffix("b")
+        unit = raw[-1] if raw and raw[-1] in _UNITS else ""
+        number = raw[: len(raw) - len(unit)] if unit else raw
+        try:
+            value = float(number)
+        except ValueError as error:
+            raise ConfigError(f"cannot parse byte count {text!r}") from error
+    if value < 0:
+        raise ConfigError(f"byte count must be non-negative, got {text!r}")
+    return int(value * _UNITS[unit])
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (``"1.5 GiB"``)."""
+    count = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(count) < 1024.0 or unit == "TiB":
+            return f"{count:.0f} {unit}" if unit == "B" else f"{count:.1f} {unit}"
+        count /= 1024.0
+    return f"{count:.1f} TiB"  # pragma: no cover - unreachable
+
+
+# ---------------------------------------------------------------------------
+# Memory
+
+
+def rss_bytes() -> int:
+    """Current resident set size of this process, in bytes.
+
+    Linux: ``VmRSS`` from ``/proc/self/status`` (no dependencies, ~µs).
+    Elsewhere: ``ru_maxrss`` from :mod:`resource` — the *peak*, not the
+    current value, which is still a safe (conservative) budget signal.
+    Returns 0 when neither source exists, disabling enforcement rather
+    than crashing on an exotic platform.
+    """
+    try:
+        with open("/proc/self/status", "rb") as handle:
+            for line in handle:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource as _resource
+
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS reports bytes; both only matter here
+        # when /proc is unavailable, i.e. macOS.
+        return int(peak) if peak > 1 << 40 else int(peak) * 1024
+    except Exception:  # pragma: no cover - platform without getrusage
+        return 0
+
+
+@dataclass
+class Watermark:
+    """One registered watermark: fires crossing up, re-arms crossing down."""
+
+    fraction: float
+    callback: Callable[[int, int], None]  # (rss_bytes, limit_bytes)
+    fired: bool = False
+
+
+@dataclass
+class MemoryBudget:
+    """RSS budget with watermark callbacks and a hard-ceiling check.
+
+    ``limit_bytes`` is the governed ceiling.  :meth:`check` reads the
+    current RSS, fires any watermark whose threshold was crossed upward
+    since the last check (each re-arms when RSS drops back below it), and
+    — only when ``enforce`` is set — raises :class:`ResourceError` above
+    the ceiling.  Enforcement is opt-in because the natural consumers
+    (supervised trials, block attacks) prefer the degradation ladders to
+    a hard failure; watermark-driven cache eviction is the default
+    response to pressure.
+
+    ``reader`` is injectable so tests can script RSS trajectories.
+    """
+
+    limit_bytes: int
+    enforce: bool = False
+    reader: Callable[[], int] = rss_bytes
+    watermarks: list[Watermark] = field(default_factory=list)
+    peak_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        self.limit_bytes = int(self.limit_bytes)
+        if self.limit_bytes <= 0:
+            raise ConfigError(
+                f"memory budget must be positive, got {self.limit_bytes}"
+            )
+
+    def add_watermark(
+        self, fraction: float, callback: Callable[[int, int], None]
+    ) -> None:
+        """Register ``callback(rss, limit)`` to fire when RSS crosses
+        ``fraction × limit`` upward (re-armed on the way back down)."""
+        if not 0.0 < fraction:
+            raise ConfigError(f"watermark fraction must be positive, got {fraction}")
+        self.watermarks.append(Watermark(float(fraction), callback))
+
+    def check(self, context: str = "") -> int:
+        """Sample RSS, fire crossed watermarks, and return the reading.
+
+        Raises :class:`ResourceError` above the ceiling when ``enforce``
+        is set (after giving every watermark — e.g. cache eviction — one
+        chance to bring RSS back down).
+        """
+        rss = self._sample()
+        if self.enforce and rss > self.limit_bytes:
+            rss = self._sample()  # watermarks may have released memory
+            if rss > self.limit_bytes:
+                label = f" during {context}" if context else ""
+                raise ResourceError(
+                    f"RSS {format_bytes(rss)} exceeds the "
+                    f"{format_bytes(self.limit_bytes)} memory budget{label}",
+                    resource="memory",
+                    needed_bytes=rss,
+                    available_bytes=self.limit_bytes,
+                )
+        return rss
+
+    def _sample(self) -> int:
+        rss = int(self.reader())
+        self.peak_bytes = max(self.peak_bytes, rss)
+        for mark in self.watermarks:
+            threshold = mark.fraction * self.limit_bytes
+            if not mark.fired and rss >= threshold:
+                mark.fired = True
+                mark.callback(rss, self.limit_bytes)
+            elif mark.fired and rss < threshold:
+                mark.fired = False
+        return rss
+
+    def headroom_bytes(self) -> int:
+        """Bytes left under the ceiling at the current RSS (floored at 0)."""
+        return max(0, self.limit_bytes - self.reader())
+
+
+_BUDGET: Optional[MemoryBudget] = None
+
+
+def install_budget(budget: Optional[MemoryBudget]) -> None:
+    """Install (or, with ``None``, remove) the process-wide memory budget."""
+    global _BUDGET
+    _BUDGET = budget
+
+
+def current_budget() -> Optional[MemoryBudget]:
+    """The ambient :class:`MemoryBudget`, or ``None`` when ungoverned."""
+    return _BUDGET
+
+
+@contextmanager
+def active_budget(budget: Optional[MemoryBudget]) -> Iterator[Optional[MemoryBudget]]:
+    """Context manager installing ``budget`` (no-op for ``None``)."""
+    global _BUDGET
+    previous = _BUDGET
+    _BUDGET = budget
+    try:
+        yield budget
+    finally:
+        _BUDGET = previous
+
+
+def budget_from_env(env: Optional[dict] = None) -> Optional[MemoryBudget]:
+    """Build a budget from ``REPRO_MEMORY_BUDGET`` (unset/empty/0 → None).
+
+    This is how ``--jobs`` pool workers inherit the parent's ceiling: the
+    CLI exports the variable, the worker initializer calls this.
+    """
+    raw = (env if env is not None else os.environ).get(
+        MEMORY_BUDGET_ENV_VAR, ""
+    ).strip()
+    if not raw or raw == "0":
+        return None
+    return MemoryBudget(parse_bytes(raw))
+
+
+def budget_check(context: str = "") -> Optional[int]:
+    """Sample the ambient budget at an instrumented site (no-op unmanaged)."""
+    if _BUDGET is None:
+        return None
+    return _BUDGET.check(context)
+
+
+# ---------------------------------------------------------------------------
+# Disk
+
+
+def free_disk_bytes(path: Union[str, Path]) -> int:
+    """Free bytes on the filesystem holding ``path`` (or its first existing
+    ancestor, so preflights work before the target file exists)."""
+    path = Path(path)
+    probe = path if path.exists() else path.parent
+    while not probe.exists() and probe != probe.parent:
+        probe = probe.parent
+    usage = os.statvfs(probe)
+    return usage.f_bavail * usage.f_frsize
+
+
+def require_free_disk(
+    path: Union[str, Path],
+    needed_bytes: int,
+    site: str = "disk",
+    **context,
+) -> None:
+    """Raise :class:`ResourceError` unless the filesystem can hold the write.
+
+    ``site`` doubles as the fault-injection site: a matching ``disk_full``
+    rule (:mod:`repro.utils.faults`) makes the preflight behave as if the
+    disk had 0 free bytes, so every ENOSPC recovery path is chaos-testable
+    without actually filling a disk.
+    """
+    path = Path(path)
+    needed = int(needed_bytes)
+    if faults.exhausted(site, path=str(path), **context):
+        available = 0
+    else:
+        available = free_disk_bytes(path)
+    if available < needed:
+        raise ResourceError(
+            f"{path}: not enough free disk space for {site} write "
+            f"(need {format_bytes(needed)}, have {format_bytes(available)})",
+            resource="disk",
+            path=str(path),
+            needed_bytes=needed,
+            available_bytes=available,
+        )
+
+
+def with_disk_retry(
+    fn: Callable[[], object],
+    *,
+    attempts: int = 3,
+    backoff_seconds: float = 0.02,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Run a disk write with bounded retries on :class:`ResourceError`.
+
+    Disk pressure is frequently transient (a sibling process rotating its
+    own artifacts, a quota catching up), and parent-side writes — journal
+    records, poison archives stored at merge time — have no supervising
+    retry loop above them.  Exponential backoff, last error re-raised.
+    """
+    if attempts < 1:
+        raise ConfigError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except ResourceError:
+            if attempt + 1 == attempts:
+                raise
+            sleep(backoff_seconds * 2**attempt)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+
+#: Rung ``level`` of the ladder is the *cumulative* footprint reduction a
+#: retry runs under after ``level`` resource failures.  Each entry names the
+#: environment adjustments applied (and restored) by
+#: :func:`degraded_footprint`; ``block_divisor`` halves again per rung so
+#: the sampled-block attackers shrink geometrically.
+DEGRADATION_LADDER: tuple[dict, ...] = (
+    {},  # level 0: full footprint
+    {"blas_threads": 1, "block_divisor": 2},
+    {"blas_threads": 1, "block_divisor": 4, "engine": "autodiff"},
+    {"blas_threads": 1, "block_divisor": 8, "engine": "autodiff"},
+)
+
+MAX_DEGRADE_LEVEL = len(DEGRADATION_LADDER) - 1
+
+
+@contextmanager
+def degraded_footprint(level: int) -> Iterator[int]:
+    """Apply rung ``level`` of :data:`DEGRADATION_LADDER` via environment.
+
+    Level 0 (or anything falsy) is a no-op.  Higher levels pin BLAS to one
+    thread, divide ``REPRO_BLOCK_SIZE``, and force the autodiff training
+    engine — all through the same environment knobs the components already
+    read, so no callee needs to know it is running degraded.  Previous
+    values are restored on exit.
+
+    Determinism caveat (documented in ``docs/resource_governance.md``):
+    results are bit-identical under degradation whenever the block covers
+    the candidate space (all non-``sbm`` datasets) and the engine fallback
+    is the already-bit-identical autodiff path; a *sampled* block that
+    shrinks necessarily scores fewer candidates, trading fidelity for
+    survival.
+    """
+    level = max(0, min(int(level), MAX_DEGRADE_LEVEL))
+    if level == 0:
+        yield 0
+        return
+    rung = DEGRADATION_LADDER[level]
+    from .blas import limit_blas_threads
+
+    saved: dict[str, Optional[str]] = {}
+
+    def set_env(var: str, value: str) -> None:
+        saved[var] = os.environ.get(var)
+        os.environ[var] = value
+
+    previous_blas: Optional[dict] = None
+    try:
+        if "blas_threads" in rung:
+            previous_blas = limit_blas_threads(rung["blas_threads"])
+        if "block_divisor" in rung:
+            base = int(os.environ.get("REPRO_BLOCK_SIZE", 200_000))
+            set_env(
+                "REPRO_BLOCK_SIZE", str(max(1, base // int(rung["block_divisor"])))
+            )
+        if "engine" in rung:
+            set_env("REPRO_ENGINE", rung["engine"])
+        yield level
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+        if previous_blas is not None:
+            for var, value in previous_blas.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value

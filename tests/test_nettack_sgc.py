@@ -13,6 +13,17 @@ from repro.tensor import Tensor
 
 
 class TestSGC:
+    @pytest.fixture(autouse=True)
+    def _cold_propagation_store(self):
+        # propagation_count assertions require a cold shared memo: a warm
+        # store from another test (same graph content) would legitimately
+        # serve A_n^K X without the instance ever propagating.
+        from repro.nn import clear_propagation_cache
+
+        clear_propagation_cache()
+        yield
+        clear_propagation_cache()
+
     def test_output_shape(self, small_cora):
         model = SGC(small_cora.num_features, small_cora.num_classes, seed=0)
         logits = model.forward(

@@ -312,7 +312,8 @@ class TestExecutorFactory:
         assert isinstance(make_executor(1), SerialTrialExecutor)
 
     def test_jobs_many_is_parallel(self):
-        executor = make_executor(3, blas_threads=1)
+        # total_cores pins capacity so the assertion holds on any machine.
+        executor = make_executor(3, blas_threads=1, total_cores=4)
         assert isinstance(executor, ParallelTrialExecutor)
         assert executor.jobs == 3
         assert executor.blas_threads == 1

@@ -1,0 +1,508 @@
+"""Resource governance: budgets, the unified cache store, and ladders.
+
+Covers the contracts in docs/resource_governance.md:
+
+* :class:`MemoryBudget` watermarks fire on upward crossings and re-arm on
+  the way down (scripted RSS readers — no real allocation games).
+* :class:`KeyedArtifactStore` enforces per-store and *global* byte budgets
+  LRU-first, never evicts pinned entries, and spills/reloads when told to.
+* ``require_free_disk`` / ``with_disk_retry`` turn ENOSPC into structured,
+  retryable :class:`ResourceError` s — chaos-driven by ``disk_full`` rules.
+* The degradation ladders actually recover: an OOM-killed ``--jobs N``
+  worker is detected, its trial requeued one rung down, and the finished
+  journal is bit-identical to a fault-free serial run; PRBCD/GRBCD shrink
+  their candidate block deterministically on an in-attack ``MemoryError``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.attacks import GRBCD, PRBCD
+from repro.attacks.base import AttackBudget
+from repro.datasets import load_dataset
+from repro.errors import CapacityWarning, ConfigError, DegradedWarning, ResourceError
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentScale,
+    SweepCheckpoint,
+    TrialPolicy,
+    TrialSupervisor,
+    make_executor,
+)
+from repro.utils import faults
+from repro.utils.faults import FaultInjector
+from repro.utils.keystore import (
+    KeyedArtifactStore,
+    cache_report,
+    clear_all_stores,
+    estimate_nbytes,
+    evict_fraction,
+    set_cache_bytes,
+)
+from repro.utils.resources import (
+    MemoryBudget,
+    active_budget,
+    budget_check,
+    budget_from_env,
+    degraded_footprint,
+    format_bytes,
+    free_disk_bytes,
+    parse_bytes,
+    require_free_disk,
+    with_disk_retry,
+)
+
+CONFIG = ExperimentScale(scale=0.04, seeds=2, rate=0.1)
+ATTACKERS = ["PEEGA"]
+DEFENDERS = ["GCN"]
+JOBS = 2
+
+
+def run_sweep(jobs=1, checkpoint=None, fault_spec=None, max_attempts=2):
+    executor = make_executor(jobs)
+    runner = ExperimentRunner(
+        CONFIG,
+        supervisor=TrialSupervisor(TrialPolicy(max_attempts=max_attempts)),
+        checkpoint=checkpoint,
+        executor=executor,
+    )
+    injector = FaultInjector(FaultInjector.parse(fault_spec)) if fault_spec else None
+    with faults.active(injector):
+        table = runner.accuracy_table("cora", attackers=ATTACKERS, defenders=DEFENDERS)
+    return table, executor, injector
+
+
+def cells_of(table):
+    return {
+        (row, name): (cell.values if cell is not None else None)
+        for row, columns in table.rows.items()
+        for name, cell in columns.items()
+    }
+
+
+def journal_records(checkpoint_dir):
+    import json
+
+    cells, failures = [], []
+    for line in (checkpoint_dir / "journal.jsonl").read_text().splitlines():
+        record = json.loads(line)
+        if record["kind"] == "cell":
+            cells.append(
+                (record["attacker"], record["defender"], tuple(record["values"]))
+            )
+        else:
+            failures.append(
+                (record["attacker"], record.get("defender"), record["error_type"])
+            )
+    return sorted(cells), sorted(failures)
+
+
+# ---------------------------------------------------------------------------
+# Byte parsing
+
+
+class TestByteParsing:
+    def test_suffixes(self):
+        assert parse_bytes("512") == 512
+        assert parse_bytes("2k") == 2048
+        assert parse_bytes("1.5M") == int(1.5 * 1024**2)
+        assert parse_bytes("2GB") == 2 * 1024**3
+        assert parse_bytes(4096) == 4096
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_bytes("lots")
+        with pytest.raises(ConfigError):
+            parse_bytes("-1M")
+
+    def test_format_roundtrip_scale(self):
+        assert format_bytes(512) == "512 B"
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+
+# ---------------------------------------------------------------------------
+# Memory budget
+
+
+class TestMemoryBudget:
+    def test_watermark_fires_and_rearms(self):
+        readings = iter([10, 85, 90, 50, 85])
+        budget = MemoryBudget(limit_bytes=100, reader=lambda: next(readings))
+        fired = []
+        budget.add_watermark(0.8, lambda rss, limit: fired.append((rss, limit)))
+        for _ in range(5):
+            budget.check()
+        # Fires crossing 80 upward (85), stays silent at 90, re-arms at 50,
+        # fires again at the second 85.
+        assert fired == [(85, 100), (85, 100)]
+        assert budget.peak_bytes == 90
+
+    def test_enforce_raises_structured_error(self):
+        budget = MemoryBudget(limit_bytes=100, enforce=True, reader=lambda: 150)
+        with pytest.raises(ResourceError) as info:
+            budget.check("scoring")
+        assert info.value.resource == "memory"
+        assert info.value.available_bytes == 100
+        assert "scoring" in str(info.value)
+
+    def test_enforce_spares_when_watermark_frees_memory(self):
+        # The watermark (e.g. cache eviction) releases memory; the enforce
+        # re-sample must observe that and not raise.
+        state = {"rss": 150}
+        budget = MemoryBudget(
+            limit_bytes=100, enforce=True, reader=lambda: state["rss"]
+        )
+        budget.add_watermark(0.8, lambda rss, limit: state.update(rss=40))
+        assert budget.check() == 40
+
+    def test_ambient_budget_check(self):
+        budget = MemoryBudget(limit_bytes=100, reader=lambda: 7)
+        assert budget_check() is None  # ungoverned: no-op
+        with active_budget(budget):
+            assert budget_check("anywhere") == 7
+
+    def test_budget_from_env(self):
+        assert budget_from_env({}) is None
+        assert budget_from_env({"REPRO_MEMORY_BUDGET": "0"}) is None
+        budget = budget_from_env({"REPRO_MEMORY_BUDGET": "2G"})
+        assert budget.limit_bytes == 2 * 1024**3
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ConfigError):
+            MemoryBudget(limit_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# Unified artifact store
+
+
+@pytest.fixture(autouse=True)
+def _no_global_cache_budget():
+    """Tests below set the global budget; always lift it afterwards."""
+    yield
+    set_cache_bytes(None)
+
+
+def _array(kib: int) -> np.ndarray:
+    return np.zeros(kib * 128, dtype=np.float64)  # kib KiB exactly
+
+
+class TestKeyedArtifactStore:
+    def test_byte_budget_evicts_lru_first(self):
+        store = KeyedArtifactStore("t-bytes", capacity_bytes=3 * 1024)
+        store.put("a", _array(1))
+        store.put("b", _array(1))
+        store.put("c", _array(1))
+        store.get("a")  # refresh: b is now the LRU
+        store.put("d", _array(1))
+        assert store.keys() == ["c", "a", "d"]
+        assert store.total_bytes == 3 * 1024
+        assert store.stats()["evictions"] == 1
+
+    def test_pinned_entries_survive_pressure_until_unpinned(self):
+        store = KeyedArtifactStore("t-pins", capacity_bytes=1024)
+        store.put("precious", _array(2), pinned=True)  # over budget but pinned
+        store.put("bulk", _array(1))
+        assert "precious" in store
+        assert store.stats()["rejected_pins"] > 0
+        store.unpin("precious")
+        store.put("more", _array(1))
+        assert "precious" not in store
+
+    def test_global_budget_evicts_across_stores(self):
+        # Stores from earlier tests (view cache, SGC memo, live runners'
+        # poison stores) may still hold bytes — possibly pinned — that
+        # count against the tiny budget below; start from a clean slate.
+        clear_all_stores()
+        first = KeyedArtifactStore("t-global-a")
+        second = KeyedArtifactStore("t-global-b")
+        first.put("old", _array(2))
+        second.put("new", _array(2))
+        set_cache_bytes(3 * 1024)
+        # The globally oldest tick lives in `first` — it pays the eviction.
+        assert "old" not in first
+        assert "new" in second
+        report = cache_report()
+        assert report["budget_bytes"] == 3 * 1024
+        assert report["total_bytes"] <= 3 * 1024
+
+    def test_spill_and_reload(self, tmp_path):
+        store = KeyedArtifactStore(
+            "t-spill",
+            max_entries=1,
+            spill_dir=tmp_path,
+            dump=lambda value, path: path.write_bytes(pickle.dumps(value)),
+            load=lambda path: pickle.loads(path.read_bytes()),
+        )
+        store.put("x", np.arange(8))
+        store.put("y", np.arange(8))  # evicts + spills x
+        assert store.stats()["spills"] == 1
+        assert list(tmp_path.glob("t-spill-*.spill"))
+        np.testing.assert_array_equal(store.get("x"), np.arange(8))
+        # The spill hit re-admitted x, which in turn evicted + spilled y.
+        assert store.stats()["spill_hits"] == 1
+        assert store.stats()["spills"] == 2
+        assert store.keys() == ["x"] and "y" in store
+
+    def test_evict_fraction_is_the_watermark_callback(self):
+        store = KeyedArtifactStore("t-watermark")
+        for i in range(4):
+            store.put(i, _array(1))
+        budget = MemoryBudget(limit_bytes=100, reader=lambda: 90)
+        budget.add_watermark(0.8, lambda rss, limit: evict_fraction(1.0))
+        budget.check()
+        assert len(store) == 0
+
+    def test_estimate_understands_repro_payloads(self, tiny_graph):
+        dense = np.zeros((4, 4))
+        assert estimate_nbytes(dense) == dense.nbytes
+        adjacency = tiny_graph.adjacency.tocsr()
+        assert estimate_nbytes(adjacency) == (
+            adjacency.data.nbytes
+            + adjacency.indices.nbytes
+            + adjacency.indptr.nbytes
+        )
+        assert estimate_nbytes(tiny_graph) > estimate_nbytes(adjacency)
+
+
+# ---------------------------------------------------------------------------
+# Disk preflight + retry
+
+
+class TestDiskGovernance:
+    def test_free_disk_probes_first_existing_ancestor(self, tmp_path):
+        assert free_disk_bytes(tmp_path / "not" / "yet" / "made.npz") > 0
+
+    def test_require_free_disk_names_path_and_bytes(self, tmp_path):
+        target = tmp_path / "big.npz"
+        with pytest.raises(ResourceError) as info:
+            require_free_disk(target, 1 << 60)
+        assert info.value.resource == "disk"
+        assert info.value.path == str(target)
+        assert info.value.needed_bytes == 1 << 60
+
+    def test_injected_disk_full(self, tmp_path):
+        injector = FaultInjector(FaultInjector.parse("mysite:disk_full"))
+        with faults.active(injector):
+            with pytest.raises(ResourceError):
+                require_free_disk(tmp_path / "x", 1, site="mysite")
+            require_free_disk(tmp_path / "x", 1, site="othersite")  # no match
+
+    def test_with_disk_retry_absorbs_transients(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ResourceError("full", resource="disk")
+            return "ok"
+
+        naps = []
+        assert with_disk_retry(flaky, attempts=3, sleep=naps.append) == "ok"
+        assert len(naps) == 2  # exponential backoff, bounded
+
+    def test_with_disk_retry_reraises_persistent(self):
+        def always_full():
+            raise ResourceError("full", resource="disk")
+
+        with pytest.raises(ResourceError):
+            with_disk_retry(always_full, attempts=2, sleep=lambda _: None)
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder environment semantics
+
+
+class TestDegradedFootprint:
+    def test_level_zero_is_a_noop(self, monkeypatch):
+        monkeypatch.setenv("OMP_NUM_THREADS", "9")
+        with degraded_footprint(0):
+            assert os.environ["OMP_NUM_THREADS"] == "9"
+
+    def test_rungs_shrink_geometrically_and_restore(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BLOCK_SIZE", raising=False)
+        monkeypatch.setenv("REPRO_ENGINE", "fused")
+        with degraded_footprint(1):
+            assert os.environ["OMP_NUM_THREADS"] == "1"
+            assert os.environ["REPRO_BLOCK_SIZE"] == "100000"
+            assert os.environ["REPRO_ENGINE"] == "fused"  # rung 1: engine kept
+        with degraded_footprint(2):
+            assert os.environ["REPRO_BLOCK_SIZE"] == "50000"
+            assert os.environ["REPRO_ENGINE"] == "autodiff"
+        assert "REPRO_BLOCK_SIZE" not in os.environ
+        assert os.environ["REPRO_ENGINE"] == "fused"
+
+    def test_divides_an_operator_set_base(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCK_SIZE", "1000")
+        with degraded_footprint(3):
+            assert os.environ["REPRO_BLOCK_SIZE"] == "125"
+        assert os.environ["REPRO_BLOCK_SIZE"] == "1000"
+
+
+# ---------------------------------------------------------------------------
+# Jobs clamp
+
+
+class TestJobsClamp:
+    def test_oversubscription_clamped_with_warning(self):
+        with pytest.warns(CapacityWarning):
+            executor = make_executor(8, total_cores=4)
+        assert executor.jobs == 4
+
+    def test_never_clamped_below_a_real_pool(self):
+        # Process isolation (and dead-worker recovery) is a semantic choice:
+        # on a 1-core box jobs=2 stays a pool, jobs>2 clamps to 2.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CapacityWarning)
+            assert make_executor(2, total_cores=1).jobs == 2
+        with pytest.warns(CapacityWarning):
+            assert make_executor(5, total_cores=1).jobs == 2
+
+    def test_within_capacity_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CapacityWarning)
+            assert make_executor(3, total_cores=8).jobs == 3
+
+
+# ---------------------------------------------------------------------------
+# In-attack MemoryError: the candidate block shrinks deterministically
+
+
+class TestBlockAttackDegradation:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("cora", scale=0.05)
+
+    def _attack(self, cls, graph, spec=None, **kwargs):
+        attacker = cls(block_size=64, seed=7, **kwargs)
+        budget = AttackBudget(total=6)
+        if spec is None:
+            return attacker.attack(graph, budget)
+        injector = FaultInjector(FaultInjector.parse(spec))
+        with faults.active(injector), pytest.warns(DegradedWarning):
+            return attacker.attack(graph, budget)
+
+    @pytest.mark.parametrize("cls", [GRBCD, PRBCD], ids=["grbcd", "prbcd"])
+    def test_oom_shrinks_block_and_finishes(self, cls, graph):
+        clean = self._attack(cls, graph)
+        degraded = self._attack(cls, graph, spec="rbcd:oom:at=2")
+        assert len(degraded.edge_flips) == len(clean.edge_flips) == 6
+
+    @pytest.mark.parametrize("cls", [GRBCD, PRBCD], ids=["grbcd", "prbcd"])
+    def test_degraded_run_is_deterministic(self, cls, graph):
+        first = self._attack(cls, graph, spec="rbcd:oom:at=2")
+        second = self._attack(cls, graph, spec="rbcd:oom:at=2")
+        assert [(f.u, f.v) for f in first.edge_flips] == [
+            (f.u, f.v) for f in second.edge_flips
+        ]
+
+    def test_exhausted_ladder_propagates(self, graph):
+        attacker = GRBCD(block_size=4, seed=7)
+        injector = FaultInjector(FaultInjector.parse("rbcd:oom:times=99"))
+        with faults.active(injector), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedWarning)
+            with pytest.raises(MemoryError):
+                attacker.attack(graph, AttackBudget(total=6))
+
+    def test_block_size_restored_between_runs(self, graph):
+        attacker = PRBCD(block_size=64, seed=7, epochs=2)
+        injector = FaultInjector(FaultInjector.parse("rbcd:oom:at=1"))
+        with faults.active(injector), pytest.warns(DegradedWarning):
+            attacker.attack(graph, AttackBudget(total=4))
+        clean_again = attacker.attack(graph, AttackBudget(total=4))
+        reference = PRBCD(block_size=64, seed=7, epochs=2).attack(
+            graph, AttackBudget(total=4)
+        )
+        # RNG state differs after the degraded run, but the *configured*
+        # block is back: a fresh attacker with the same seed matches shape.
+        assert attacker._active_block == 64
+        assert len(clean_again.edge_flips) == len(reference.edge_flips)
+
+
+# ---------------------------------------------------------------------------
+# Sweep-level ladders: disk_full and OOM-killed workers
+
+
+class TestSweepDiskFaults:
+    def test_transient_journal_disk_full_absorbed(self, tmp_path):
+        clean_dir, faulted_dir = tmp_path / "clean", tmp_path / "faulted"
+        reference, _, _ = run_sweep(jobs=1, checkpoint=SweepCheckpoint(clean_dir))
+        table, _, _ = run_sweep(
+            jobs=1,
+            checkpoint=SweepCheckpoint(faulted_dir),
+            fault_spec="journal_disk:disk_full:times=1",
+        )
+        assert cells_of(table) == cells_of(reference)
+        assert journal_records(clean_dir) == journal_records(faulted_dir)
+
+    def test_transient_poison_disk_full_absorbed(self, tmp_path):
+        clean_dir, faulted_dir = tmp_path / "clean", tmp_path / "faulted"
+        reference, _, _ = run_sweep(jobs=1, checkpoint=SweepCheckpoint(clean_dir))
+        table, _, _ = run_sweep(
+            jobs=1,
+            checkpoint=SweepCheckpoint(faulted_dir),
+            fault_spec="poison_disk:disk_full:times=1",
+        )
+        assert cells_of(table) == cells_of(reference)
+        assert journal_records(clean_dir) == journal_records(faulted_dir)
+        # The poison archive still landed after the retry.
+        assert list(faulted_dir.glob("poison_*.npz"))
+
+    def test_persistent_disk_full_raises_structured(self, tmp_path):
+        with pytest.raises(ResourceError) as info:
+            run_sweep(
+                jobs=1,
+                checkpoint=SweepCheckpoint(tmp_path / "ckpt"),
+                fault_spec="journal_disk:disk_full",
+            )
+        assert info.value.resource == "disk"
+        assert "journal" in str(info.value.path)
+
+
+class TestWorkerDeathRecovery:
+    def test_oomkilled_worker_requeued_bit_identical(self, tmp_path):
+        """Satellite 4: kill a pool worker, recover on the ladder, and the
+        finished journal is bit-identical to a fault-free serial run."""
+        serial_dir = tmp_path / "serial"
+        reference, _, _ = run_sweep(jobs=1, checkpoint=SweepCheckpoint(serial_dir))
+
+        parallel_dir = tmp_path / "parallel"
+        with pytest.warns(DegradedWarning):
+            table, _, _ = run_sweep(
+                jobs=JOBS,
+                checkpoint=SweepCheckpoint(parallel_dir),
+                fault_spec="defender:oomkill:attacker=Clean:defender=GCN:seed=0",
+            )
+        assert table.failures == []
+        assert cells_of(table) == cells_of(reference)
+        assert journal_records(serial_dir) == journal_records(parallel_dir)
+
+    def test_repeatedly_killed_trial_becomes_structured_failure(self):
+        # A pool break cannot attribute guilt, so every co-resident trial
+        # is charged a kill; the guarantee is that the sweep *terminates*
+        # with structured ladder-exhausted failures instead of hanging or
+        # crashing the parent.
+        spec = "defender:oomkill:times=99:attacker=Clean:defender=GCN:seed=0"
+        with pytest.warns(DegradedWarning):
+            table, _, _ = run_sweep(jobs=JOBS, fault_spec=spec)
+        assert table.failures  # the poisoned trial is always among them
+        assert any(
+            (f.key.attacker, f.key.defender, f.key.seed) == ("Clean", "GCN", 0)
+            for f in table.failures
+        )
+        assert all("died" in f.message for f in table.failures)
+
+    def test_in_trial_memory_error_climbs_supervisor_ladder(self):
+        # A MemoryError *inside* a trial (not a kill) retries one rung down
+        # via the supervisor, and the retried value is kept.
+        spec = "defender:oom:times=1:attacker=Clean:defender=GCN:seed=0"
+        with pytest.warns(DegradedWarning):
+            table, _, _ = run_sweep(jobs=1, fault_spec=spec, max_attempts=3)
+        assert table.failures == []
+        assert table.rows["Clean"]["GCN"] is not None
