@@ -3,6 +3,13 @@
 Every bench regenerates one of the paper's tables/figures and *emits* the
 formatted rows: printed to stdout (visible with ``pytest -s``) and saved
 under ``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference them.
+
+Machine-read reports (``BENCH_*.json``) all share one envelope — the
+``repro.bench/1`` schema: ``{"schema": "repro.bench/1", "bench": <name>,
+...payload}`` — so ``perf_gate.py`` and the CI gates can parse any report
+the same way and diff fresh numbers against committed baselines.  Every
+write (text or JSON) is disk-preflighted, atomic, and fsync-durable: a CI
+kill mid-write leaves the previous report or nothing, never a torn file.
 """
 
 from __future__ import annotations
@@ -12,30 +19,64 @@ import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: The one schema tag shared by every BENCH_*.json report.
+BENCH_SCHEMA = "repro.bench/1"
+
 
 def emit(name: str, text: str) -> None:
     """Print ``text`` and persist it to ``benchmarks/results/<name>.txt``."""
+    from repro.io import atomic_write_text
+    from repro.utils.resources import require_free_disk
+
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    path = RESULTS_DIR / f"{name}.txt"
+    require_free_disk(path, len(text.encode()) + 4096, site="bench_disk", report=name)
+    atomic_write_text(path, text + "\n")
 
 
 def emit_json(name: str, payload: dict) -> None:
     """Persist a machine-read ``BENCH_*.json`` report atomically + durably.
 
-    CI gates parse these files, so a mid-write kill must leave the previous
-    report or nothing — and a full disk must fail with a structured
+    Wraps ``payload`` in the unified ``repro.bench/1`` envelope: a
+    ``schema`` tag plus the bench name derived from the file name
+    (``BENCH_training.json`` → ``"training"``).  CI gates parse these
+    files, so a mid-write kill must leave the previous report or nothing —
+    and a full disk must fail with a structured
     :class:`~repro.errors.ResourceError` naming the path, not a torn file.
     """
     from repro.io import atomic_write_json
     from repro.utils.resources import require_free_disk
 
+    stem = name
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    record = {"schema": BENCH_SCHEMA, "bench": stem}
+    record.update(payload)
+
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / name
-    needed = len(json.dumps(payload, indent=2, sort_keys=True).encode()) + 4096
+    needed = len(json.dumps(record, indent=2, sort_keys=True).encode()) + 4096
     require_free_disk(path, needed, site="bench_disk", report=name)
-    atomic_write_json(path, payload)
+    atomic_write_json(path, record)
+
+
+def cell_stats(cell) -> dict | None:
+    """JSON-ready ``{"mean", "std"}`` for a sweep cell (``None`` stays None)."""
+    if cell is None:
+        return None
+    return {"mean": cell.mean, "std": cell.std}
+
+
+def table_stats(rows: dict) -> dict:
+    """JSON-ready nested mapping for an accuracy/timing table's cells."""
+    return {
+        row: {col: cell_stats(cell) for col, cell in cols.items()}
+        for row, cols in rows.items()
+    }
 
 
 def run_once(benchmark, fn):

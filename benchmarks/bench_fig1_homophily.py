@@ -4,7 +4,7 @@ Paper: all evaluated datasets exceed 70.43% same-label edges, which is the
 homophily property PEEGA's global view (Dif2) substitutes for labels.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.analysis import edge_homophily
 from repro.datasets import dataset_names, load_dataset
@@ -29,4 +29,8 @@ def test_fig1_homophily(benchmark):
         title="Fig 1 — edge homophily per dataset (paper: all > 70.43%)",
     )
     emit("fig1_homophily", text)
+    emit_json(
+        "BENCH_fig1_homophily.json",
+        {"scale": config.scale, "same_label_edge_fraction": values},
+    )
     assert all(v > 0.70 for v in values.values()), values

@@ -5,7 +5,7 @@ budget *adding edges between nodes with different labels* (Add+Diff), the
 pattern GNAT is designed to resist.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.analysis import edge_difference
 from repro.experiments import (
@@ -41,6 +41,15 @@ def test_fig2_edge_diff(benchmark):
         ),
     )
     emit("fig2_edge_diff", text)
+    emit_json(
+        "BENCH_fig2_edge_diff.json",
+        {
+            "dataset": "cora",
+            "proportions": {
+                name: breakdown[name].proportions() for name in ATTACKER_NAMES
+            },
+        },
+    )
     # The paper's core observation: the strongest attackers (Metattack,
     # PEEGA) mostly add different-label edges.
     for name in ("Metattack", "PEEGA"):

@@ -9,7 +9,7 @@ up to 1.0 (5.0 is reachable by setting REPRO_FIG3_MAX_RATE).
 
 import os
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.analysis import intra_inter_summary
 from repro.attacks import Metattack
@@ -50,6 +50,10 @@ def test_fig3_label_similarity(benchmark):
         ),
     )
     emit("fig3_label_similarity", text)
+    emit_json(
+        "BENCH_fig3_label_similarity.json",
+        {"dataset": "cora", "rates": rates, "series": rows},
+    )
     assert rows["inter"][-1] > rows["inter"][0], rows
     assert rows["accuracy"][-1] < rows["accuracy"][0], rows
     assert rows["intra"][0] > rows["inter"][0], rows

@@ -6,7 +6,7 @@ edge flip affects the whole message-passing neighborhood while a feature
 flip touches one dimension of one node.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.core import PEEGA
 from repro.experiments import ExperimentRunner, format_series
@@ -39,5 +39,9 @@ def test_fig5a_attack_types(benchmark):
         title="Fig 5(a) — PEEGA variants on Cora, r=0.1 (paper: FP weak, TM ≈ TM+FP)",
     )
     emit("fig5a_attack_ablation", text)
+    emit_json(
+        "BENCH_fig5a_attack_ablation.json",
+        {"dataset": "cora", "gcn_accuracy": accuracy},
+    )
     assert accuracy["FP"] > accuracy["TM"], accuracy  # FP is the weak variant
     assert abs(accuracy["TM"] - accuracy["TM+FP"]) < 0.05, accuracy

@@ -7,7 +7,7 @@ intermediate β (a balanced mix is the strongest attack) while GNAT stays
 flat and best throughout.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.attacks import AttackBudget
 from repro.core import PEEGA
@@ -50,6 +50,10 @@ def test_fig5b_beta_sweep(benchmark):
         percent=False,
     )
     emit("fig5b_beta_sweep", text + "\n" + counts)
+    emit_json(
+        "BENCH_fig5b_beta_sweep.json",
+        {"dataset": "cora", "betas": BETAS, "series": rows},
+    )
     # Cheaper features ⇒ at least as many feature flips as at β=1.
     assert rows["feature flips"][0] >= rows["feature flips"][-1], rows
     # GNAT dominates GCN on average across the sweep.

@@ -7,7 +7,7 @@ stays above GCN's, and GNAT degrades more gracefully than Pro-GNN.
 
 import os
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.experiments import ExperimentRunner, format_series
 
@@ -55,6 +55,10 @@ def test_fig6_perturbation_rate(benchmark):
             )
         )
     emit("fig6_ptb_rate", "\n\n".join(blocks))
+    emit_json(
+        "BENCH_fig6_ptb_rate.json",
+        {"rates": RATES, "datasets": all_series},
+    )
 
     for dataset, series in all_series.items():
         for attacker in ("P", "M"):

@@ -6,7 +6,7 @@ shape: with more accessible nodes both attackers get stronger (GCN accuracy
 falls), and PEEGA tracks or beats Metattack.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.attacks import sample_attacker_nodes
 from repro.core import PEEGA
@@ -40,5 +40,9 @@ def test_fig7a_attacker_nodes(benchmark):
         title="Fig 7(a) — GCN accuracy vs accessible-node rate (PEEGA on Cora)",
     )
     emit("fig7a_attacker_nodes", text)
+    emit_json(
+        "BENCH_fig7a_attacker_nodes.json",
+        {"dataset": "cora", "node_rates": RATES, "series": series},
+    )
     # More accessible nodes ⇒ the attack is at least as strong.
     assert series["GCN+P"][-1] <= series["GCN+P"][0] + 0.02, series

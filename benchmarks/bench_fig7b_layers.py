@@ -5,7 +5,7 @@ victim GCN itself uses); PEEGA_1 is clearly weaker; deeper surrogates
 (3, 4) stay competitive.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.core import PEEGA
 from repro.experiments import ExperimentRunner, format_series
@@ -51,5 +51,9 @@ def test_fig7b_layers(benchmark):
         title="Fig 7(b) — GCN accuracy vs PEEGA surrogate depth (Cora, r=0.1)",
     )
     emit("fig7b_layers", text)
+    emit_json(
+        "BENCH_fig7b_layers.json",
+        {"dataset": "cora", "surrogate_layers": SURROGATE_LAYERS, "series": series},
+    )
     # PEEGA_2 attacks the 2-layer victim at least as well as PEEGA_1.
     assert series["GCN-2L"][1] <= series["GCN-2L"][0] + 0.02, series

@@ -7,7 +7,7 @@ in the paper; the synthetic stand-ins favour p=1 on Cora as documented in
 EXPERIMENTS.md).
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.core import PEEGA
 from repro.experiments import ExperimentRunner, format_series
@@ -39,6 +39,10 @@ def test_fig8a_lambda(benchmark):
             title="Fig 8(a) — GCN accuracy vs PEEGA λ (Cora, r=0.1)",
         ),
     )
+    emit_json(
+        "BENCH_fig8a_lambda.json",
+        {"dataset": "cora", "lambdas": LAMBDAS, "gcn_accuracy": accs},
+    )
     # Some positive λ is at least as strong as λ=0 (the global view helps).
     assert min(accs[1:]) <= accs[0] + 0.02, accs
 
@@ -69,6 +73,10 @@ def test_fig8b_norm(benchmark):
             results,
             title="Fig 8(b) — GCN accuracy vs PEEGA norm p (r=0.1)",
         ),
+    )
+    emit_json(
+        "BENCH_fig8b_norm.json",
+        {"norms": NORMS, "gcn_accuracy": results},
     )
     # p=1 is the strongest norm on Polblogs (paper's finding).
     assert results["polblogs"][0] == min(results["polblogs"]), results

@@ -6,7 +6,7 @@ Paper shape: each parameter has a sweet spot — accuracy first rises
 structure).  Defaults {k_t, k_f, k_e} = {2, 15, 10}.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.core import GNAT
 from repro.experiments import ExperimentRunner, format_series
@@ -47,6 +47,17 @@ def test_fig9_gnat_parameters(benchmark):
                       title="Fig 9 — GNAT-e accuracy vs k_e"),
     ]
     emit("fig9_gnat_params", "\n\n".join(blocks))
+    emit_json(
+        "BENCH_fig9_gnat_params.json",
+        {
+            "dataset": "citeseer",
+            "attacker": "PEEGA",
+            "k_t": K_T,
+            "k_f": K_F,
+            "k_e": K_E,
+            "accuracy": rows,
+        },
+    )
     # Each sweep stays within a sane band (augmentation never collapses).
     for key, values in rows.items():
         assert max(values) - min(values) < 0.35, (key, values)

@@ -7,7 +7,7 @@ Paper shape: Metattack and PEEGA are the strongest attackers; GF-Attack is
 marginal; GNAT is the strongest defender on (almost) every row.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once, table_stats
 
 from repro.experiments import ExperimentRunner, format_accuracy_table
 
@@ -18,6 +18,10 @@ def test_table4_cora(benchmark):
     emit(
         "table4_cora",
         format_accuracy_table(table, title="Table IV — Cora, r=0.1 (accuracy %)"),
+    )
+    emit_json(
+        "BENCH_table4_cora.json",
+        {"dataset": table.dataset, "rate": table.rate, "rows": table_stats(table.rows)},
     )
 
     gcn = {name: row["GCN"].mean for name, row in table.rows.items()}

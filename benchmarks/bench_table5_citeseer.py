@@ -4,7 +4,7 @@ Paper shape: PEEGA is the strongest attacker on Citeseer (beating even the
 gray-box Metattack); GNAT is the best defender on every row.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once, table_stats
 
 from repro.experiments import ExperimentRunner, format_accuracy_table
 
@@ -15,6 +15,10 @@ def test_table5_citeseer(benchmark):
     emit(
         "table5_citeseer",
         format_accuracy_table(table, title="Table V — Citeseer, r=0.1 (accuracy %)"),
+    )
+    emit_json(
+        "BENCH_table5_citeseer.json",
+        {"dataset": table.dataset, "rate": table.rate, "rows": table_stats(table.rows)},
     )
 
     gcn = {name: row["GCN"].mean for name, row in table.rows.items()}

@@ -9,7 +9,7 @@ the single critical identity feature per node / fragile leaf blogs), and the
 defenders recover part of the damage.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once, table_stats
 
 from repro.experiments import ExperimentRunner, format_accuracy_table
 
@@ -22,6 +22,10 @@ def test_table6_polblogs(benchmark):
         format_accuracy_table(
             table, title="Table VI — Polblogs, r=0.1 (accuracy %), GNAT = GNAT\\f"
         ),
+    )
+    emit_json(
+        "BENCH_table6_polblogs.json",
+        {"dataset": table.dataset, "rate": table.rate, "rows": table_stats(table.rows)},
     )
 
     gcn = {name: row["GCN"].mean for name, row in table.rows.items()}

@@ -16,7 +16,7 @@ Two caveats at reduced scale (both documented in EXPERIMENTS.md):
   at the paper's |V|=2110 the asymptotics dominate again.
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once, table_stats
 
 from repro.attacks import Metattack
 from repro.datasets import dataset_names
@@ -56,6 +56,10 @@ def test_table7_attacker_time(benchmark):
         format_timing_table(
             timings, title="Table VII — attack generation time (seconds)"
         ),
+    )
+    emit_json(
+        "BENCH_table7_attack_time.json",
+        {"unit": "seconds", "rows": table_stats(timings)},
     )
     peega = timings["PEEGA"]["cora"].mean
     # GF-Attack's per-candidate spectral cost dominates PEEGA on Cora.

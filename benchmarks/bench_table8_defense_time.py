@@ -6,7 +6,7 @@ SimPGCN) and the SVD preprocessing cost more; Pro-GNN is orders of magnitude
 slower (per-epoch SVD + joint structure learning).
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once, table_stats
 
 from repro.datasets import dataset_names
 from repro.experiments import defender_timings, format_timing_table
@@ -20,6 +20,10 @@ def test_table8_defender_time(benchmark):
         format_timing_table(
             timings, title="Table VIII — defender training time (seconds)"
         ),
+    )
+    emit_json(
+        "BENCH_table8_defense_time.json",
+        {"unit": "seconds", "rows": table_stats(timings)},
     )
     for dataset in datasets:
         gcn = timings["GCN"][dataset].mean

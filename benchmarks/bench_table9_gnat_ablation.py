@@ -6,7 +6,7 @@ Paper shape: multi-view combinations beat their single-view components
 merged-graph variant (separate correlated views > one union graph).
 """
 
-from _util import emit, run_once
+from _util import emit, emit_json, run_once
 
 from repro.core import GNAT
 from repro.experiments import ExperimentRunner, format_series
@@ -52,6 +52,10 @@ def test_table9_gnat_ablation(benchmark):
         title="Table IX — GNAT ablation on PEEGA-poisoned Cora (r=0.1)",
     )
     emit("table9_gnat_ablation", text)
+    emit_json(
+        "BENCH_table9_gnat_ablation.json",
+        {"dataset": "cora", "attacker": "PEEGA", "accuracy": scores},
+    )
     # Multi-view beats merged for the same view set (paper's key ablation).
     assert scores["GNAT-t+e"] >= scores["GNAT-te"] - 0.02, scores
     assert scores["GNAT-t+f+e"] >= scores["GNAT-tfe"] - 0.02, scores

@@ -68,10 +68,11 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         "--engine",
         choices=ENGINES,
         default=None,
-        help="training engine: auto (default) fuses eligible GCN/SGC/GNAT "
-        "fits into closed-form kernels with bit-identical results, fused "
-        "requires fusion, autodiff forces the traced path; also settable "
-        f"via ${ENGINE_ENV_VAR}",
+        help="training engine: auto (default) fuses eligible fits "
+        "(GCN/SGC/GNAT/GAT/RGCN/SimPGCN) into closed-form kernels with "
+        "bit-identical results, fused requires fusion (the error names the "
+        "ineligible component), autodiff forces the traced path; also "
+        f"settable via ${ENGINE_ENV_VAR}",
     )
 
 

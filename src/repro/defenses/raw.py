@@ -26,12 +26,14 @@ class RawGCN(Defender):
         hidden_dim: int = 16,
         dropout: float = 0.5,
         train_config: Optional[TrainConfig] = None,
+        engine: Optional[str] = None,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
         self.hidden_dim = int(hidden_dim)
         self.dropout = float(dropout)
         self.train_config = train_config or TrainConfig()
+        self.engine = engine
 
     def _fit(self, graph: Graph) -> tuple[float, float, dict]:
         model = GCN(
@@ -41,7 +43,9 @@ class RawGCN(Defender):
             dropout=self.dropout,
             seed=self._model_seed(),
         )
-        result = train_node_classifier(model, graph, self.train_config)
+        result = train_node_classifier(
+            model, graph, self.train_config, engine=self.engine
+        )
         return result.test_accuracy, result.best_val_accuracy, {"epochs": result.epochs_run}
 
 
@@ -56,6 +60,7 @@ class RawGAT(Defender):
         num_heads: int = 4,
         dropout: float = 0.5,
         train_config: Optional[TrainConfig] = None,
+        engine: Optional[str] = None,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
@@ -63,6 +68,7 @@ class RawGAT(Defender):
         self.num_heads = int(num_heads)
         self.dropout = float(dropout)
         self.train_config = train_config or TrainConfig()
+        self.engine = engine
 
     def _fit(self, graph: Graph) -> tuple[float, float, dict]:
         model = GAT(
@@ -73,5 +79,7 @@ class RawGAT(Defender):
             dropout=self.dropout,
             seed=self._model_seed(),
         )
-        result = train_node_classifier(model, graph, self.train_config)
+        result = train_node_classifier(
+            model, graph, self.train_config, engine=self.engine
+        )
         return result.test_accuracy, result.best_val_accuracy, {"epochs": result.epochs_run}

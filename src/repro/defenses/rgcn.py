@@ -21,7 +21,7 @@ from ..tensor import Adam, Tensor, functional as F, glorot_uniform
 from ..utils.rng import SeedLike, ensure_rng
 from .base import Defender
 
-__all__ = ["RGCN", "GaussianGCNModel"]
+__all__ = ["RGCN", "GaussianGCNModel", "KLLoss"]
 
 
 def _power_normalize(adjacency: sp.spmatrix, exponent: float) -> sp.csr_matrix:
@@ -51,7 +51,22 @@ class GaussianGCNModel(Module):
         self.w_var_2 = glorot_uniform(hidden_dim, out_dim, rng)
         self.gamma = float(gamma)
         self._sample_rng = ensure_rng(rng.integers(0, 2**63 - 1))
-        self._kl_cache: Optional[Tensor] = None
+        # Holds the forward's KL tensor.  Kept inside a dict so parameter
+        # scanning (which traverses Tensor attributes, lists and tuples,
+        # but not dicts) never mistakes a grad-requiring cache for a
+        # trainable parameter — that would desync state_dict snapshots
+        # taken after training forwards from ones taken after eval
+        # forwards.
+        self._forward_cache: dict = {}
+        self._kl_cache = None
+
+    @property
+    def _kl_cache(self) -> Optional[Tensor]:
+        return self._forward_cache.get("kl")
+
+    @_kl_cache.setter
+    def _kl_cache(self, value: Optional[Tensor]) -> None:
+        self._forward_cache["kl"] = value
 
     def forward(
         self,
@@ -82,6 +97,23 @@ class GaussianGCNModel(Module):
         return mean
 
 
+class KLLoss:
+    """RGCN's KL regularizer ``β · KL(N(μ,σ) ‖ N(0,1))`` as a loss term.
+
+    As a class (rather than the former inline lambda) the trainer can
+    recognize it and dispatch the whole Gaussian-GCN fit to the fused
+    closed-form kernel; calling it runs the identical autodiff expression
+    against the KL value the model's forward cached.
+    """
+
+    def __init__(self, model: GaussianGCNModel, beta_kl: float) -> None:
+        self.model = model
+        self.beta_kl = float(beta_kl)
+
+    def __call__(self, _logits: Tensor) -> Tensor:
+        return self.beta_kl * self.model._kl_cache
+
+
 class RGCN(Defender):
     """Robust GCN with Gaussian node representations.
 
@@ -103,6 +135,7 @@ class RGCN(Defender):
         gamma: float = 1.0,
         beta_kl: float = 5e-4,
         train_config: Optional[TrainConfig] = None,
+        engine: Optional[str] = None,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
@@ -110,6 +143,7 @@ class RGCN(Defender):
         self.gamma = float(gamma)
         self.beta_kl = float(beta_kl)
         self.train_config = train_config or TrainConfig()
+        self.engine = engine
 
     def _fit(self, graph: Graph) -> tuple[float, float, dict]:
         from ..nn.trainer import train_node_classifier
@@ -127,6 +161,7 @@ class RGCN(Defender):
             graph,
             self.train_config,
             adjacency=operators,  # type: ignore[arg-type]
-            loss_fn=lambda logits: self.beta_kl * model._kl_cache,
+            loss_fn=KLLoss(model, self.beta_kl),
+            engine=self.engine,
         )
         return result.test_accuracy, result.best_val_accuracy, {}

@@ -27,7 +27,7 @@ from ..tensor import Tensor, functional as F, glorot_uniform, zeros
 from ..utils.rng import SeedLike, ensure_rng
 from .base import Defender
 
-__all__ = ["SimPGCN", "knn_graph", "KNN_CHUNK_ROWS"]
+__all__ = ["SimPGCN", "SSLLoss", "knn_graph", "KNN_CHUNK_ROWS"]
 
 # Row-chunk size for the blocked top-k similarity scan.  Chosen above every
 # graph this repo trains on (full-scale synthetic Cora is 2708 nodes), so
@@ -130,7 +130,20 @@ class SimPGCNModel(Module):
         self.layer1 = _SimPLayer(in_dim, hidden_dim, rng)
         self.layer2 = _SimPLayer(hidden_dim, out_dim, rng)
         self.ssl_head = glorot_uniform(hidden_dim, 1, rng)
-        self._hidden: Optional[Tensor] = None
+        # Dict-held hidden cache: keeps the grad-requiring activations out
+        # of parameter scanning (which traverses Tensors/lists/tuples, not
+        # dicts), so state_dict stays in sync regardless of whether the
+        # last forward ran in train or eval mode.
+        self._forward_cache: dict = {}
+        self._hidden = None
+
+    @property
+    def _hidden(self) -> Optional[Tensor]:
+        return self._forward_cache.get("hidden")
+
+    @_hidden.setter
+    def _hidden(self, value: Optional[Tensor]) -> None:
+        self._forward_cache["hidden"] = value
 
     def forward(self, adjacency: tuple[sp.csr_matrix, sp.csr_matrix], x: Tensor) -> Tensor:
         adj_topo, adj_feat = adjacency
@@ -146,6 +159,45 @@ class SimPGCNModel(Module):
         predicted = (left - right).matmul(self.ssl_head)  # (m, 1)
         residual = predicted.reshape(-1) - Tensor(targets)
         return (residual * residual).mean()
+
+
+class SSLLoss:
+    """SimPGCN's self-supervised similarity-regression term as a loss class.
+
+    Each call draws a fresh batch of node pairs from the defender's RNG and
+    regresses their hidden-embedding difference onto the pairwise cosine
+    feature similarity.  As a class (rather than the former inline closure)
+    the trainer can recognize it and dispatch the fit to the fused kernel,
+    which replays :meth:`draw_pairs` against the same RNG stream; calling it
+    runs the identical autodiff composition.
+    """
+
+    def __init__(
+        self,
+        model: SimPGCNModel,
+        similarity: np.ndarray,
+        weight: float,
+        num_pairs: int,
+        num_nodes: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.model = model
+        self.similarity = similarity
+        self.weight = float(weight)
+        self.num_pairs = int(num_pairs)
+        self.num_nodes = int(num_nodes)
+        self.rng = rng
+
+    def draw_pairs(self) -> np.ndarray:
+        """One epoch's pair batch; advances the shared RNG stream."""
+        return self.rng.integers(0, self.num_nodes, size=(self.num_pairs, 2))
+
+    def pair_targets(self, pairs: np.ndarray) -> np.ndarray:
+        return self.similarity[pairs[:, 0], pairs[:, 1]]
+
+    def __call__(self, _logits: Tensor) -> Tensor:
+        pairs = self.draw_pairs()
+        return self.weight * self.model.ssl_loss(pairs, self.pair_targets(pairs))
 
 
 class SimPGCN(Defender):
@@ -170,6 +222,7 @@ class SimPGCN(Defender):
         ssl_pairs: int = 400,
         hidden_dim: int = 16,
         train_config: Optional[TrainConfig] = None,
+        engine: Optional[str] = None,
         seed: SeedLike = None,
     ) -> None:
         super().__init__(seed)
@@ -178,6 +231,7 @@ class SimPGCN(Defender):
         self.ssl_pairs = int(ssl_pairs)
         self.hidden_dim = int(hidden_dim)
         self.train_config = train_config or TrainConfig()
+        self.engine = engine
 
     def _fit(self, graph: Graph) -> tuple[float, float, dict]:
         rng = ensure_rng(self._model_seed())
@@ -187,11 +241,9 @@ class SimPGCN(Defender):
         similarity = cosine_similarity_matrix(graph.features)
 
         model = SimPGCNModel(graph.num_features, self.hidden_dim, graph.num_classes, rng)
-
-        def ssl_term(_logits: Tensor) -> Tensor:
-            pairs = rng.integers(0, graph.num_nodes, size=(self.ssl_pairs, 2))
-            targets = similarity[pairs[:, 0], pairs[:, 1]]
-            return self.ssl_weight * model.ssl_loss(pairs, targets)
+        ssl_term = SSLLoss(
+            model, similarity, self.ssl_weight, self.ssl_pairs, graph.num_nodes, rng
+        )
 
         result = train_node_classifier(
             model,
@@ -199,5 +251,6 @@ class SimPGCN(Defender):
             self.train_config,
             adjacency=(adj_topo, adj_feat),  # type: ignore[arg-type]
             loss_fn=ssl_term,
+            engine=self.engine,
         )
         return result.test_accuracy, result.best_val_accuracy, {"knn_k": k}

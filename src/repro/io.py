@@ -41,6 +41,7 @@ __all__ = [
     "array_digest",
     "journal_record_digest",
     "atomic_write_json",
+    "atomic_write_text",
 ]
 
 _FORMAT_VERSION = 2
@@ -199,6 +200,24 @@ def atomic_write_json(path: PathLike, payload: dict, indent: int = 2) -> None:
     tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
     try:
         tmp.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n")
+        _fsync_path(tmp)
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write a text document atomically and durably (temp + fsync + rename).
+
+    The human-readable benchmark tables share the same torn-write hazard as
+    the JSON reports: ``EXPERIMENTS.md`` references them, so a kill mid-write
+    must leave the previous table or nothing.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text)
         _fsync_path(tmp)
         os.replace(tmp, path)
         _fsync_dir(path.parent)

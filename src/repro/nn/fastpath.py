@@ -2,10 +2,13 @@
 
 :func:`repro.nn.train_node_classifier` normally traces a per-op autodiff
 graph through :class:`repro.tensor.Tensor` every epoch.  That generality is
-needed by GAT's attention, RGCN's KL term and SimPGCN's SSL head — but the
-models that dominate every sweep (plain GCN, SGC, and GNAT's shared
-multi-view GCN) are compositions of a fixed handful of kernels whose
-gradients are known in closed form.  This module computes them directly:
+only needed by genuinely dynamic setups (custom loss closures, wrapped
+forwards, dense differentiable operators); every model the sweeps actually
+fit — plain GCN, SGC, GNAT's shared multi-view GCN, GAT's dense masked
+attention, RGCN's Gaussian layers + KL term, and SimPGCN's adaptive
+propagation + SSL head — is a composition of a fixed handful of kernels
+whose gradients are known in closed form.  This module computes them
+directly:
 
 * one NumPy pass for the forward (loss included), one for every parameter
   gradient, with no ``Tensor`` graph construction, no gather/scatter loss
@@ -48,6 +51,7 @@ import scipy.sparse as sp
 
 from ..errors import ConfigError, ShapeError
 from ..tensor import Tensor, functional as F
+from .gat import GAT, _NEG_INF, _support_mask
 from .gcn import GCN
 from .sgc import SGC
 
@@ -522,6 +526,557 @@ class _FusedMultiView:
         return np.log(probs * self.inv_views + 1e-12)
 
 
+class _FusedGAT:
+    """Closed-form kernel for the two-layer multi-head GAT.
+
+    Replicates :meth:`repro.nn.gat.GAT.forward` + masked cross-entropy op
+    for op: per-head ``h¹ = x W``, LeakyReLU attention scores, the support
+    mask applied as a ``-1e9`` fill, row softmax, the concatenated-head ELU,
+    and both dropout draws from the model's own RNG stream.  The support
+    mask (the O(n²) densification the autodiff path pays every forward) is
+    built once per fit; the big (n, n) attention intermediates live in
+    epoch-reused buffers.  Backward folds the three gradients of each
+    head's ``h¹`` (attention product, then dst scores, then src scores) in
+    exactly autodiff's reverse post-order, and skips the never-consumed
+    feature gradient.
+    """
+
+    def __init__(self, model: GAT, adjacency, graph) -> None:
+        self.model = model
+        self.mask = _support_mask(adjacency)
+        self.notmask = ~self.mask
+        self.features = np.asarray(graph.features, dtype=np.float64)
+        n, in_dim = self.features.shape
+        heads = model.heads
+        d = heads[0].weight.shape[1]
+        out_dim = model.out_layer.weight.shape[1]
+        width = d * len(heads)
+        self.head_dim = d
+        self.loss = _MaskedCrossEntropy(graph.labels, graph.train_mask, (n, out_dim))
+        # Per-attention-layer state (heads + the output layer).
+        self._h1 = [np.empty((n, d)) for _ in heads]
+        self._att = [np.empty((n, n)) for _ in heads]
+        self._pos = [np.empty((n, n), dtype=bool) for _ in heads]
+        self._H = np.empty((n, out_dim))
+        self._att_o = np.empty((n, n))
+        self._pos_o = np.empty((n, n), dtype=bool)
+        self._gw = [np.empty(h.weight.shape) for h in heads] + [
+            np.empty(model.out_layer.weight.shape)
+        ]
+        # Concat / ELU / dropout stages.
+        self._merged = np.empty((n, width))
+        self._elu = np.empty((n, width))
+        self._elupos = np.empty((n, width), dtype=bool)
+        self._dropped = np.empty((n, width))
+        self._wide = np.empty((n, width))  # scratch (ELU tail + its backward)
+        self._wideb = np.empty((n, width), dtype=bool)
+        self._rand0 = np.empty((n, in_dim))
+        self._keep0b = np.empty((n, in_dim), dtype=bool)
+        self._keep0 = np.empty((n, in_dim))
+        self._x = np.empty((n, in_dim))
+        self._rand1 = np.empty((n, width))
+        self._keep1b = np.empty((n, width), dtype=bool)
+        self._keep1 = np.empty((n, width))
+        # (n, n) scratch shared by every attention layer's forward/backward.
+        self._S = np.empty((n, n))
+        self._T = np.empty((n, n))
+        self._B = np.empty((n, n), dtype=bool)
+        self._row = np.empty((n, 1))
+        # Backward buffers.
+        self._gH = np.empty((n, out_dim))
+        self._ghead = np.empty((n, d))
+        self._x_in: Optional[np.ndarray] = None
+        self._e_in: Optional[np.ndarray] = None
+
+    def _attention(self, x, layer, h1buf, attbuf, posbuf):
+        """One masked-attention layer forward; returns its ``h¹``."""
+        S, row = self._S, self._row
+        h1 = np.matmul(x, layer.weight.data, out=h1buf)
+        src = h1 @ layer.attn_src.data
+        dst = h1 @ layer.attn_dst.data
+        np.add(src, dst.T, out=S)
+        # leaky_relu: np.where(pre > 0, pre, slope * pre), via masked copy.
+        np.greater(S, 0, out=posbuf)
+        np.multiply(S, layer.slope, out=self._T)
+        np.logical_not(posbuf, out=self._B)
+        np.copyto(S, self._T, where=self._B)
+        np.copyto(S, _NEG_INF, where=self.notmask)
+        # softmax: exp(a - rowmax) / rowsum.  Off-support entries sit at
+        # -1e9 - rowmax, where IEEE exp underflows to exactly +0.0 — so
+        # exp-ing only the support (after zeroing the buffer) reproduces
+        # the full-matrix result bit for bit while skipping the underflow
+        # slow path the autodiff oracle pays on every masked entry.
+        np.max(S, axis=1, keepdims=True, out=row)
+        np.subtract(S, row, out=S)
+        np.copyto(attbuf, 0.0)
+        np.exp(S, out=attbuf, where=self.mask)
+        np.sum(attbuf, axis=1, keepdims=True, out=row)
+        np.divide(attbuf, row, out=attbuf)
+        return h1
+
+    def _attention_backward(self, gout, layer, h1, att, pos, gh1buf, x_in, gwbuf):
+        """Backward of one attention layer; returns the grad w.r.t. ``x``-side
+        ``h¹`` caller input (i.e. d loss / d h¹ fully accumulated)."""
+        S, T, row = self._S, self._T, self._row
+        # h¹'s first gradient contribution: the attention product.
+        gh1 = np.matmul(att.T, gout, out=gh1buf)
+        datt = np.matmul(gout, h1.T, out=S)
+        # softmax backward: out * (g - (g*out).sum(axis=1)).
+        np.multiply(datt, att, out=T)
+        np.sum(T, axis=1, keepdims=True, out=row)
+        np.subtract(datt, row, out=S)
+        np.multiply(att, S, out=S)
+        # masked_fill backward zeroes the filled entries.
+        np.copyto(S, 0.0, where=self.notmask)
+        # leaky_relu backward: g * where(pre > 0, 1, slope), via masked copy.
+        np.multiply(S, layer.slope, out=T)
+        np.logical_not(pos, out=self._B)
+        np.copyto(S, T, where=self._B)
+        # src + dst.T backward: unbroadcast to the (n, 1) score columns;
+        # autodiff's reverse post-order folds dst's contribution before src's.
+        dsrc = S.sum(axis=1, keepdims=True)
+        ddst = S.sum(axis=0, keepdims=True).T
+        np.add(gh1, ddst @ layer.attn_dst.data.T, out=gh1)
+        layer.attn_dst.grad = h1.T @ ddst
+        np.add(gh1, dsrc @ layer.attn_src.data.T, out=gh1)
+        layer.attn_src.grad = h1.T @ dsrc
+        layer.weight.grad = np.matmul(x_in.T, gh1, out=gwbuf)
+        return gh1
+
+    def _merge_forward(self, x, training):
+        """Heads -> concat -> ELU (+ training dropout) -> input of out layer."""
+        model = self.model
+        d = self.head_dim
+        for i, head in enumerate(model.heads):
+            h1 = self._attention(x, head, self._h1[i], self._att[i], self._pos[i])
+            np.matmul(self._att[i], h1, out=self._merged[:, i * d : (i + 1) * d])
+        m = self._merged
+        # elu: np.where(a > 0, a, exp(min(a, 0)) - 1) at alpha=1.
+        np.greater(m, 0, out=self._elupos)
+        np.minimum(m, 0.0, out=self._wide)
+        np.exp(self._wide, out=self._wide)
+        np.subtract(self._wide, 1.0, out=self._wide)
+        np.copyto(self._elu, m)
+        np.logical_not(self._elupos, out=self._wideb)
+        np.copyto(self._elu, self._wide, where=self._wideb)
+        rate = model.dropout
+        if training and rate > 0.0:
+            model._dropout_rng.random(out=self._rand1)
+            np.greater_equal(self._rand1, rate, out=self._keep1b)
+            np.divide(self._keep1b, 1.0 - rate, out=self._keep1)
+            return np.multiply(self._elu, self._keep1, out=self._dropped)
+        return self._elu
+
+    def train_forward(self) -> tuple[float, np.ndarray]:
+        model = self.model
+        rate = model.dropout
+        x = self.features
+        if rate > 0.0:
+            # Same draws, same expression as F.dropout, into reused buffers.
+            model._dropout_rng.random(out=self._rand0)
+            np.greater_equal(self._rand0, rate, out=self._keep0b)
+            np.divide(self._keep0b, 1.0 - rate, out=self._keep0)
+            x = np.multiply(self.features, self._keep0, out=self._x)
+        self._x_in = x
+        e = self._merge_forward(x, training=True)
+        self._e_in = e
+        H = self._attention(e, model.out_layer, self._H, self._att_o, self._pos_o)
+        logits = self._att_o @ H  # fresh: the trainer keeps logits alive
+        return self.loss.forward(logits), logits
+
+    def backward(self) -> None:
+        model = self.model
+        g = self.loss.backward()
+        gH = self._attention_backward(
+            g, model.out_layer, self._H, self._att_o, self._pos_o,
+            self._gH, self._e_in, self._gw[-1],
+        )
+        ge = np.matmul(gH, model.out_layer.weight.data.T, out=self._wide)
+        if model.dropout > 0.0:
+            np.multiply(ge, self._keep1, out=ge)
+        # elu backward: g * where(m > 0, 1, elu + 1), via masked copy.
+        tail = self._merged  # safe: forward state now consumed
+        np.add(self._elu, 1.0, out=tail)
+        np.multiply(ge, tail, out=tail)
+        np.logical_not(self._elupos, out=self._wideb)
+        np.copyto(ge, tail, where=self._wideb)
+        # concat backward: slice per head, reverse construction order.
+        d = self.head_dim
+        for i in reversed(range(len(model.heads))):
+            self._attention_backward(
+                ge[:, i * d : (i + 1) * d], model.heads[i],
+                self._h1[i], self._att[i], self._pos[i],
+                self._ghead, self._x_in, self._gw[i],
+            )
+
+    def eval_forward(self) -> np.ndarray:
+        model = self.model
+        e = self._merge_forward(self.features, training=False)
+        H = self._attention(e, model.out_layer, self._H, self._att_o, self._pos_o)
+        return self._att_o @ H
+
+
+class _FusedRGCN:
+    """Closed-form kernel for RGCN's Gaussian GCN + KL regularizer.
+
+    Replicates :meth:`repro.defenses.rgcn.GaussianGCNModel.forward` plus
+    ``ce + β·KL``: two sparse-operator passes (means through the mean
+    operator, variances through the variance operator) with the elementwise
+    attention/KL couplings, sampling ``μ + ε√σ`` from the model's own RNG.
+    Backward replays autodiff's reverse post-order — the KL chain folds its
+    contributions into ``μ₂``/``σ₂`` *before* the cross-entropy chain does —
+    and skips both feature gradients.  Validation is free: the training
+    forward already computes the eval-mode logits (``μ₂``, sampled only
+    afterwards), so :meth:`deferred_eval_forward` just returns them.
+    """
+
+    def __init__(self, model, operators, graph, beta_kl: float) -> None:
+        self.model = model
+        adj_mean, adj_var = operators
+        self.am = adj_mean.tocsr()
+        self.av = adj_var.tocsr()
+        self.am_t = self.am.T.tocsr()
+        self.av_t = self.av.T.tocsr()
+        self.features = np.asarray(graph.features, dtype=np.float64)
+        self.beta_kl = float(beta_kl)
+        n = self.features.shape[0]
+        d = model.w_mean_1.shape[1]
+        c = model.w_mean_2.shape[1]
+        self.loss = _MaskedCrossEntropy(graph.labels, graph.train_mask, (n, c))
+        # Epoch-reused buffers; μ₂ is deliberately fresh every epoch (the
+        # trainer keeps it alive as deferred validation logits).
+        self._xm1 = np.empty((n, d))
+        self._sm1 = np.empty((n, d))
+        self._mean1 = np.empty((n, d))
+        self._pos_m1 = np.empty((n, d), dtype=bool)
+        self._xv1 = np.empty((n, d))
+        self._sv1 = np.empty((n, d))
+        self._pos_v1 = np.empty((n, d), dtype=bool)
+        self._rv1 = np.empty((n, d))
+        self._var1 = np.empty((n, d))
+        self._att = np.empty((n, d))
+        self._ma = np.empty((n, d))
+        self._p1 = np.empty((n, d))
+        self._p2 = np.empty((n, d))
+        self._xm2 = np.empty((n, c))
+        self._xv2 = np.empty((n, c))
+        self._sv2 = np.empty((n, c))
+        self._pos_v2 = np.empty((n, c), dtype=bool)
+        self._rv2 = np.empty((n, c))
+        self._var2 = np.empty((n, c))
+        self._sqrt = np.empty((n, c))
+        self._mm = np.empty((n, c))
+        self._td = np.empty((n, d))
+        self._tc = np.empty((n, c))
+        self._negb = np.empty((n, d), dtype=bool)
+        self._gv2 = np.empty((n, c))
+        self._gm2 = np.empty((n, c))
+        self._gxm2 = np.empty((n, c))
+        self._gxv2 = np.empty((n, c))
+        self._gma = np.empty((n, d))
+        self._gp1 = np.empty((n, d))
+        self._gatt = np.empty((n, d))
+        self._gvar1 = np.empty((n, d))
+        self._gmean1 = np.empty((n, d))
+        self._gxm1 = np.empty((n, d))
+        self._gxv1 = np.empty((n, d))
+        self._gw = {
+            name: np.empty(getattr(model, name).shape)
+            for name in ("w_mean_1", "w_var_1", "w_mean_2", "w_var_2")
+        }
+        self._mean2: Optional[np.ndarray] = None
+        self._noise: Optional[np.ndarray] = None
+
+    def _mean_path(self) -> np.ndarray:
+        """First layer (both chains) + second mean layer; returns fresh μ₂."""
+        model = self.model
+        x = self.features
+        xm1 = np.matmul(x, model.w_mean_1.data, out=self._xm1)
+        sm1 = _spmm(self.am, xm1, self._sm1)
+        # elu: np.where(a > 0, a, exp(min(a, 0)) - 1) at alpha=1.
+        np.greater(sm1, 0, out=self._pos_m1)
+        np.minimum(sm1, 0.0, out=self._td)
+        np.exp(self._td, out=self._td)
+        np.subtract(self._td, 1.0, out=self._td)
+        np.copyto(self._mean1, sm1)
+        np.logical_not(self._pos_m1, out=self._negb)
+        np.copyto(self._mean1, self._td, where=self._negb)
+        xv1 = np.matmul(x, model.w_var_1.data, out=self._xv1)
+        sv1 = _spmm(self.av, xv1, self._sv1)
+        np.greater(sv1, 0, out=self._pos_v1)
+        rv1 = np.maximum(sv1, 0.0, out=self._rv1)
+        var1 = np.add(rv1, 1e-6, out=self._var1)
+        np.multiply(var1, -model.gamma, out=self._att)
+        np.exp(self._att, out=self._att)
+        np.multiply(self._mean1, self._att, out=self._ma)
+        xm2 = np.matmul(self._ma, model.w_mean_2.data, out=self._xm2)
+        return _spmm_fresh(self.am, xm2)
+
+    def train_forward(self) -> tuple[float, np.ndarray]:
+        model = self.model
+        n = self.features.shape[0]
+        mean2 = self._mean_path()
+        self._mean2 = mean2
+        p1 = np.multiply(self._var1, self._att, out=self._p1)
+        p2 = np.multiply(p1, self._att, out=self._p2)
+        xv2 = np.matmul(p2, model.w_var_2.data, out=self._xv2)
+        sv2 = _spmm(self.av, xv2, self._sv2)
+        np.greater(sv2, 0, out=self._pos_v2)
+        rv2 = np.maximum(sv2, 0.0, out=self._rv2)
+        var2 = np.add(rv2, 1e-6, out=self._var2)
+        # KL(N(μ,σ) ‖ N(0,1)) = 0.5 · mean_v Σ_c (μ² + σ − log σ − 1).
+        t = np.multiply(mean2, mean2, out=self._mm)
+        t = np.add(t, var2, out=self._tc)
+        np.subtract(t, np.log(var2, out=self._mm), out=t)
+        np.subtract(t, 1.0, out=t)
+        kl = 0.5 * (t.sum(axis=1).sum() * (1.0 / float(n)))
+        # Training sample z = μ + ε√σ from the model's own sampling stream.
+        noise = model._sample_rng.normal(size=var2.shape)
+        self._noise = noise
+        sqrt = np.sqrt(var2, out=self._sqrt)
+        logits = mean2 + np.multiply(noise, sqrt, out=self._tc)
+        ce = self.loss.forward(logits)
+        return ce + self.beta_kl * kl, logits
+
+    def backward(self) -> None:
+        model = self.model
+        n, c = self._var2.shape
+        x = self.features
+        # The KL chain runs first in autodiff's reverse post-order.  Its
+        # upstream is the constant (β·0.5)/n broadcast over (n, c).
+        v = (self.beta_kl * 0.5) * (1.0 / float(n))
+        var2 = self._var2
+        gv2 = np.divide(-v, var2, out=self._gv2)
+        np.add(gv2, v, out=gv2)
+        gm2 = np.multiply(self._mean2, v, out=self._gm2)
+        np.add(gm2, gm2, out=gm2)
+        # Then the cross-entropy chain folds in through the sampled logits.
+        g = self.loss.backward()
+        np.add(gm2, g, out=gm2)
+        t = np.multiply(g, self._noise, out=self._tc)
+        np.multiply(t, 0.5, out=t)
+        np.divide(t, self._sqrt, out=t)
+        np.add(gv2, t, out=gv2)
+        # Variance chain (processed before the mean chain): σ₂ -> W_v2, p2.
+        np.multiply(gv2, self._pos_v2, out=gv2)
+        gxv2 = _spmm(self.av_t, gv2, self._gxv2)
+        model.w_var_2.grad = np.matmul(
+            self._p2.T, gxv2, out=self._gw["w_var_2"]
+        )
+        gp2 = np.matmul(gxv2, model.w_var_2.data.T, out=self._td)
+        gp1 = np.multiply(gp2, self._att, out=self._gp1)
+        gatt = np.multiply(gp2, self._p1, out=self._gatt)
+        gvar1 = np.multiply(gp1, self._att, out=self._gvar1)
+        np.add(gatt, np.multiply(gp1, self._var1, out=self._td), out=gatt)
+        # Mean chain: μ₂ -> W_m2, (μ₁·α).
+        gxm2 = _spmm(self.am_t, gm2, self._gxm2)
+        model.w_mean_2.grad = np.matmul(
+            self._ma.T, gxm2, out=self._gw["w_mean_2"]
+        )
+        gma = np.matmul(gxm2, model.w_mean_2.data.T, out=self._gma)
+        gmean1 = np.multiply(gma, self._att, out=self._gmean1)
+        np.add(gatt, np.multiply(gma, self._mean1, out=self._td), out=gatt)
+        # Attention α = exp(−γ·σ₁): chain into σ₁ after p1's contribution.
+        np.multiply(gatt, self._att, out=gatt)
+        np.multiply(gatt, -model.gamma, out=self._td)
+        np.add(gvar1, self._td, out=gvar1)
+        np.multiply(gvar1, self._pos_v1, out=gvar1)
+        gxv1 = _spmm(self.av_t, gvar1, self._gxv1)
+        model.w_var_1.grad = np.matmul(x.T, gxv1, out=self._gw["w_var_1"])
+        # elu backward: g * where(s > 0, 1, elu + 1).
+        np.add(self._mean1, 1.0, out=self._td)
+        np.multiply(gmean1, self._td, out=self._td)
+        np.logical_not(self._pos_m1, out=self._negb)
+        np.copyto(gmean1, self._td, where=self._negb)
+        gxm1 = _spmm(self.am_t, gmean1, self._gxm1)
+        model.w_mean_1.grad = np.matmul(x.T, gxm1, out=self._gw["w_mean_1"])
+
+    def eval_forward(self) -> np.ndarray:
+        # Eval-mode logits are the propagated means; the σ₂/KL/sampling tail
+        # is never consumed, so the fused path skips it outright.
+        return self._mean_path()
+
+    def deferred_eval_forward(self) -> np.ndarray:
+        """Eval logits for the weights the LAST ``train_forward`` used.
+
+        The training forward computes μ₂ *before* sampling — exactly the
+        eval-mode logits — so deferred validation costs nothing at all.
+        """
+        return self._mean2
+
+
+class _FusedSimPGCN:
+    """Closed-form kernel for SimPGCN's adaptive propagation + SSL head.
+
+    Replicates :meth:`repro.defenses.simpgcn.SimPGCNModel.forward` plus
+    ``ce + w·SSL``: per layer a topology propagation, a kNN-feature-graph
+    propagation, a sigmoid gate mixing them, and a learnable self term; the
+    SSL head regresses sampled pair-embedding differences onto cosine
+    similarity, drawing each epoch's pairs from the same
+    :class:`~repro.defenses.simpgcn.SSLLoss` RNG stream as the autodiff
+    path.  Backward replays autodiff's reverse post-order: the SSL scatter
+    gradients fold into the hidden layer before the classification chain,
+    and both feature gradients are skipped.  The forward is deterministic,
+    so the trainer reuses training logits for validation outright.
+    """
+
+    def __init__(self, model, operators, graph, ssl) -> None:
+        self.model = model
+        adj_topo, adj_feat = operators
+        self.at = adj_topo.tocsr()
+        self.af = adj_feat.tocsr()
+        self.at_t = self.at.T.tocsr()
+        self.af_t = self.af.T.tocsr()
+        self.features = np.asarray(graph.features, dtype=np.float64)
+        self.ssl = ssl
+        n = self.features.shape[0]
+        d = model.layer1.weight.shape[1]
+        c = model.layer2.weight.shape[1]
+        self.loss = _MaskedCrossEntropy(graph.labels, graph.train_mask, (n, c))
+        self._s1 = np.empty((n, d))
+        self._tp1 = np.empty((n, d))
+        self._fp1 = np.empty((n, d))
+        self._z1 = np.empty((n, d))
+        self._pos1 = np.empty((n, d), dtype=bool)
+        self._h = np.empty((n, d))
+        self._s2 = np.empty((n, c))
+        self._tp2 = np.empty((n, c))
+        self._fp2 = np.empty((n, c))
+        self._td = np.empty((n, d))
+        self._tc = np.empty((n, c))
+        self._gs1 = np.empty((n, d))
+        self._gs2 = np.empty((n, c))
+        self._gprop = np.empty((n, c))
+        self._gpropd = np.empty((n, d))
+        self._layer_state = [{}, {}]
+        self._gw = [
+            {
+                "weight": np.empty(layer.weight.shape),
+                "gate_w": np.empty(layer.gate_w.shape),
+                "self_coeff": np.empty(layer.self_coeff.shape),
+            }
+            for layer in (model.layer1, model.layer2)
+        ]
+
+    def _layer_forward(self, layer, xin, sbuf, tpbuf, fpbuf, state):
+        """One adaptive layer: gate·topo + (1−gate)·feat + self·support."""
+        s = np.matmul(xin, layer.weight.data, out=sbuf)
+        gpre = xin @ layer.gate_w.data + layer.gate_b.data
+        gate = 1.0 / (1.0 + np.exp(-gpre))
+        tp = _spmm(self.at, s, tpbuf)
+        fp = _spmm(self.af, s, fpbuf)
+        sc = xin @ layer.self_coeff.data
+        om = 1.0 - gate
+        state["gate"], state["om"], state["sc"] = gate, om, sc
+        z = np.multiply(gate, tp)
+        np.add(z, np.multiply(om, fp), out=z)
+        np.add(z, np.multiply(sc, s), out=z)
+        return z
+
+    def _forward(self) -> np.ndarray:
+        model = self.model
+        z1 = self._layer_forward(
+            model.layer1, self.features, self._s1, self._tp1, self._fp1,
+            self._layer_state[0],
+        )
+        np.copyto(self._z1, z1)
+        np.greater(self._z1, 0, out=self._pos1)
+        h = np.maximum(self._z1, 0.0, out=self._h)
+        return self._layer_forward(
+            model.layer2, h, self._s2, self._tp2, self._fp2,
+            self._layer_state[1],
+        )
+
+    def train_forward(self) -> tuple[float, np.ndarray]:
+        logits = self._forward()  # fresh: the trainer reuses training logits
+        ce = self.loss.forward(logits)
+        # SSL term, drawn from the same stream the autodiff closure uses.
+        pairs = self.ssl.draw_pairs()
+        targets = self.ssl.pair_targets(pairs)
+        h = self._h
+        diff = h[pairs[:, 0]] - h[pairs[:, 1]]
+        pred = diff @ self.model.ssl_head.data
+        resid = pred.reshape(-1) - targets
+        sq = resid * resid
+        sslval = sq.sum() * (1.0 / float(sq.size))
+        self._pairs, self._diff, self._resid = pairs, diff, resid
+        return ce + self.ssl.weight * sslval, logits
+
+    def _layer_backward(self, layer, g, xin, s, tp, fp, state, gsbuf, gw, gx):
+        """Backward of one adaptive layer.
+
+        When ``gx`` is given it already holds the SSL chain's gradient on
+        this layer's input; the layer's own contributions fold on top in
+        autodiff's accumulation order (self term, then support, then gate).
+        ``gx=None`` skips the input gradient (the feature layer)."""
+        gate, om, sc = state["gate"], state["om"], state["sc"]
+        wide = g.shape[1] == self._tc.shape[1]
+        t = self._tc if wide else self._td
+        prop = self._gprop if wide else self._gpropd
+        # self term (last constructed, first in reverse post-order).
+        np.multiply(g, s, out=t)
+        gsc = t.sum(axis=1, keepdims=True)
+        gs = np.multiply(g, sc, out=gsbuf)
+        if gx is not None:
+            np.add(gx, gsc @ layer.self_coeff.data.T, out=gx)
+        layer.self_coeff.grad = np.matmul(xin.T, gsc, out=gw["self_coeff"])
+        # feature-graph term, then topology term.
+        np.multiply(g, fp, out=t)
+        gom = t.sum(axis=1, keepdims=True)
+        gfp = np.multiply(g, om, out=t)
+        np.add(gs, _spmm(self.af_t, gfp, prop), out=gs)
+        ggate = -gom
+        np.multiply(g, tp, out=t)
+        ggate = ggate + t.sum(axis=1, keepdims=True)
+        gtp = np.multiply(g, gate, out=t)
+        np.add(gs, _spmm(self.at_t, gtp, prop), out=gs)
+        if gx is not None:
+            np.add(gx, gs @ layer.weight.data.T, out=gx)
+        layer.weight.grad = np.matmul(xin.T, gs, out=gw["weight"])
+        # sigmoid gate backward: g * gate * (1 - gate).
+        ggpre = ggate * gate * om
+        layer.gate_b.grad = ggpre.sum(axis=0)
+        if gx is not None:
+            np.add(gx, ggpre @ layer.gate_w.data.T, out=gx)
+        layer.gate_w.grad = np.matmul(xin.T, ggpre, out=gw["gate_w"])
+        return gx
+
+    def backward(self) -> None:
+        model = self.model
+        pairs, diff, resid = self._pairs, self._diff, self._resid
+        m = len(resid)
+        n = self.features.shape[0]
+        # SSL chain first (reverse post-order): resid² mean -> scatter into h.
+        s = self.ssl.weight * (1.0 / float(m))
+        t = s * resid
+        gresid = t + t
+        gpred = gresid.reshape(m, 1)
+        model.ssl_head.grad = diff.T @ gpred
+        gdiff = gpred @ model.ssl_head.data.T
+        scatter_r = sp.csr_matrix(
+            (np.ones(m), (pairs[:, 1], np.arange(m))), shape=(n, m)
+        )
+        scatter_l = sp.csr_matrix(
+            (np.ones(m), (pairs[:, 0], np.arange(m))), shape=(n, m)
+        )
+        gh = scatter_r @ (-gdiff)
+        gh = gh + scatter_l @ gdiff
+        # Classification chain: layer 2 folds its four h-contributions on top.
+        g = self.loss.backward()
+        gh = self._layer_backward(
+            model.layer2, g, self._h, self._s2, self._tp2, self._fp2,
+            self._layer_state[1], self._gs2, self._gw[1], gh,
+        )
+        np.multiply(gh, self._pos1, out=gh)
+        self._layer_backward(
+            model.layer1, gh, self.features, self._s1, self._tp1, self._fp1,
+            self._layer_state[0], self._gs1, self._gw[0], None,
+        )
+
+    def eval_forward(self) -> np.ndarray:
+        return self._forward()
+
+
 # ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
@@ -539,53 +1094,173 @@ def _gcn_fusible(model: GCN) -> bool:
     )
 
 
+def _loss_classes():
+    """The recognized loss-term classes, imported lazily.
+
+    ``repro.defenses`` imports ``repro.nn``; importing the other way at
+    module scope would be circular, so the defense loss classes resolve on
+    first dispatch.
+    """
+    from ..defenses.rgcn import GaussianGCNModel, KLLoss
+    from ..defenses.simpgcn import SimPGCNModel, SSLLoss
+
+    return GaussianGCNModel, KLLoss, SimPGCNModel, SSLLoss
+
+
+def _ineligible(strict: bool, reason: str):
+    """Reject a fused dispatch: raise with the *specific* blocker in strict
+    mode, else fall back to autodiff by returning None."""
+    if strict:
+        raise ConfigError(
+            f"engine='fused' requires a fusible training setup, but {reason}; "
+            "use engine='auto' to fall back to autodiff"
+        )
+    return None
+
+
+def _operator_pair_reason(adjacency, names: tuple[str, str]) -> Optional[str]:
+    """Why ``adjacency`` is not the expected (sparse, sparse) operator pair."""
+    if not isinstance(adjacency, tuple) or len(adjacency) != 2:
+        return f"adjacency is {type(adjacency).__name__}, not a ({names[0]}, {names[1]}) operator pair"
+    for name, op in zip(names, adjacency):
+        if not sp.issparse(op):
+            return f"the {name} operator is a dense {type(op).__name__}, not scipy.sparse"
+    return None
+
+
 def make_fused_kernel(
     model,
     graph,
     adjacency,
     forward: Callable,
     loss_fn: Optional[Callable],
+    strict: bool = False,
 ):
     """Return a fused kernel for this training setup, or None if ineligible.
 
     Eligibility is deliberately exact-type and exact-forward: subclasses or
     wrapped forwards may compute anything, so they keep the autodiff path.
+    With ``strict=True`` (the trainer's ``engine="fused"``), every rejection
+    raises :class:`~repro.errors.ConfigError` naming the specific
+    ineligible component — the model class, the operator kind, or the
+    custom loss — instead of returning None.
     """
+    GaussianGCNModel, KLLoss, SimPGCNModel, SSLLoss = _loss_classes()
     if loss_fn is not None:
-        return None
+        # Only the two recognized defense loss terms fuse; anything else is
+        # an arbitrary closure the kernels cannot replicate.
+        if isinstance(loss_fn, KLLoss):
+            if type(model) is not GaussianGCNModel:
+                return _ineligible(
+                    strict,
+                    f"KLLoss pairs with GaussianGCNModel, not {type(model).__name__}",
+                )
+            if loss_fn.model is not model:
+                return _ineligible(
+                    strict, "the KLLoss is bound to a different model instance"
+                )
+            if not _is_plain_bound_forward(forward, model):
+                return _ineligible(
+                    strict, "the forward is wrapped or overridden, not GaussianGCNModel.forward"
+                )
+            reason = _operator_pair_reason(adjacency, ("mean", "variance"))
+            if reason is not None:
+                return _ineligible(strict, reason)
+            return _FusedRGCN(model, adjacency, graph, loss_fn.beta_kl)
+        if isinstance(loss_fn, SSLLoss):
+            if type(model) is not SimPGCNModel:
+                return _ineligible(
+                    strict,
+                    f"SSLLoss pairs with SimPGCNModel, not {type(model).__name__}",
+                )
+            if loss_fn.model is not model:
+                return _ineligible(
+                    strict, "the SSLLoss is bound to a different model instance"
+                )
+            if not _is_plain_bound_forward(forward, model):
+                return _ineligible(
+                    strict, "the forward is wrapped or overridden, not SimPGCNModel.forward"
+                )
+            reason = _operator_pair_reason(adjacency, ("topology", "feature-graph"))
+            if reason is not None:
+                return _ineligible(strict, reason)
+            return _FusedSimPGCN(model, adjacency, graph, loss_fn)
+        name = getattr(type(loss_fn), "__qualname__", type(loss_fn).__name__)
+        if name in ("function", "lambda"):
+            name = getattr(loss_fn, "__qualname__", repr(loss_fn))
+        return _ineligible(strict, f"custom loss_fn {name!r} is not a recognized loss term")
     if isinstance(forward, MultiViewForward):
         target = forward.model
-        if target is not model or type(target) is not GCN:
-            return None
-        if not all(sp.issparse(op) for op in forward.operators):
-            return None
+        if target is not model:
+            return _ineligible(
+                strict, "the MultiViewForward wraps a different model instance"
+            )
+        if type(target) is not GCN:
+            return _ineligible(
+                strict,
+                f"multi-view fusion covers plain GCN, not {type(target).__name__}",
+            )
+        for i, op in enumerate(forward.operators):
+            if not sp.issparse(op):
+                return _ineligible(
+                    strict,
+                    f"view operator {i} is a dense {type(op).__name__}, not scipy.sparse",
+                )
         if not _gcn_fusible(target):
-            return None
+            return _ineligible(
+                strict, "the GCN has dropout >= 1 or bias-free layers"
+            )
         return _FusedMultiView(target, forward.operators, graph)
     if not _is_plain_bound_forward(forward, model):
-        return None
+        return _ineligible(
+            strict,
+            f"the forward is wrapped or overridden, not {type(model).__name__}.forward",
+        )
+    if type(model) is GAT:
+        # GAT's kernel only reads the adjacency's support pattern, so dense
+        # adjacencies are as fusible as sparse ones.
+        if not 0.0 <= model.dropout < 1.0:
+            return _ineligible(strict, f"GAT dropout {model.dropout} is outside [0, 1)")
+        return _FusedGAT(model, adjacency, graph)
     if not sp.issparse(adjacency):
-        return None
+        return _ineligible(
+            strict,
+            f"the adjacency operator is a dense {type(adjacency).__name__}, "
+            "not scipy.sparse (e.g. GCN-SVD's low-rank dense operator)",
+        )
     if type(model) is GCN:
         if not _gcn_fusible(model):
-            return None
+            return _ineligible(
+                strict, "the GCN has dropout >= 1 or bias-free layers"
+            )
         return _FusedGCN(model, adjacency, graph)
     if type(model) is SGC:
         return _FusedSGC(model, adjacency, graph)
-    return None
+    return _ineligible(
+        strict, f"no fused kernel covers model class {type(model).__name__}"
+    )
 
 
 def training_matches_eval(model, forward: Callable, loss_fn: Optional[Callable]) -> bool:
     """True when a train-mode forward is bit-identical to an eval-mode one.
 
-    Holds for models without stochastic layers (SGC always; GCN at dropout
-    0, or with a single layer — dropout only applies to inputs of layers
-    > 0) under their plain forward — the trainer then reuses training
-    logits for validation instead of paying a second full forward per
-    epoch.
+    Holds for models without stochastic forward ops under their plain
+    forward (SGC always; GCN at dropout 0, or with a single layer —
+    dropout only applies to inputs of layers > 0; GAT at dropout 0;
+    SimPGCN always, including under its recognized ``SSLLoss`` — the SSL
+    term randomizes the *loss*, never the logits) — the trainer then
+    reuses training logits for validation instead of paying a second full
+    forward per epoch.  RGCN never qualifies: its training logits are
+    sampled.
     """
     if loss_fn is not None:
-        return False
+        _, _, SimPGCNModel, SSLLoss = _loss_classes()
+        return (
+            isinstance(loss_fn, SSLLoss)
+            and type(model) is SimPGCNModel
+            and loss_fn.model is model
+            and _is_plain_bound_forward(forward, model)
+        )
     if isinstance(forward, MultiViewForward):
         target = forward.model
         if target is not model:
@@ -596,6 +1271,8 @@ def training_matches_eval(model, forward: Callable, loss_fn: Optional[Callable])
         return False
     if type(target) is SGC:
         return True
+    if type(target) is GAT:
+        return target.dropout <= 0.0
     return type(target) is GCN and (
         target.dropout <= 0.0 or len(target.layers) == 1
     )

@@ -14,7 +14,7 @@ from typing import Union
 import numpy as np
 import scipy.sparse as sp
 
-from ..tensor import Tensor, functional as F, glorot_uniform
+from ..tensor import Tensor, functional as F, glorot_uniform, no_grad
 from ..utils.rng import SeedLike, ensure_rng
 from .module import Module
 
@@ -96,10 +96,11 @@ class GAT(Module):
         return self.out_layer.forward(mask, merged)
 
     def predict(self, adjacency: AdjacencyLike, features: Tensor) -> np.ndarray:
-        """Hard label predictions in eval mode."""
+        """Hard label predictions in eval mode (no autodiff graph)."""
         was_training = self.training
         self.eval()
-        logits = self.forward(adjacency, features)
+        with no_grad():
+            logits = self.forward(adjacency, features)
         if was_training:
             self.train()
         return np.argmax(logits.data, axis=1)

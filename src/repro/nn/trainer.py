@@ -6,9 +6,11 @@ early stopping on validation accuracy with best-weights restoration.
 
 Two engines drive the per-epoch math (see :mod:`repro.nn.fastpath` and
 ``docs/fast_training.md``): the general autodiff path, and a fused
-closed-form path for plain GCN/SGC/multi-view-GCN forwards that produces a
-bit-identical weight trajectory several times faster.  ``engine="auto"``
-(the default) picks the fused path whenever it applies.
+closed-form path — covering plain GCN/SGC/multi-view-GCN forwards, GAT's
+dense masked attention, and the RGCN/SimPGCN defense fits via their
+recognized loss terms — that produces a bit-identical weight trajectory
+several times faster.  ``engine="auto"`` (the default) picks the fused
+path whenever it applies.
 
 A non-finite training loss (NaN/±inf) raises
 :class:`~repro.errors.DivergenceError` before the optimizer steps, restoring
@@ -118,11 +120,12 @@ def train_node_classifier(
         tensor (used by RGCN's KL term and SimPGCN's SSL term).
     engine:
         ``"auto"`` fuses eligible forwards (plain GCN/SGC over sparse
-        operators, multi-view GCN, no ``loss_fn``) into closed-form kernels
-        with bit-identical trajectories; ``"fused"`` requires fusion (raises
-        :class:`~repro.errors.ConfigError` when ineligible); ``"autodiff"``
-        forces the traced path.  ``None`` defers to ``$REPRO_ENGINE``,
-        defaulting to ``"auto"``.
+        operators, multi-view GCN, GAT's masked attention, and RGCN /
+        SimPGCN under their recognized ``KLLoss`` / ``SSLLoss`` terms) into
+        closed-form kernels with bit-identical trajectories; ``"fused"``
+        requires fusion (raises :class:`~repro.errors.ConfigError` naming
+        the ineligible component); ``"autodiff"`` forces the traced path.
+        ``None`` defers to ``$REPRO_ENGINE``, defaulting to ``"auto"``.
 
     Returns
     -------
@@ -144,13 +147,12 @@ def train_node_classifier(
     engine_name = resolve_engine(engine)
     kernel = None
     if engine_name != "autodiff":
-        kernel = make_fused_kernel(model, graph, adjacency, forward, loss_fn)
-        if kernel is None and engine_name == "fused":
-            raise ConfigError(
-                "engine='fused' requires a plain GCN/SGC forward over sparse "
-                "operators (or a MultiViewForward) with no extra loss_fn; "
-                "use engine='auto' to fall back to autodiff"
-            )
+        # strict=True makes an ineligible setup raise ConfigError naming
+        # the specific blocker (model class, operator kind, custom loss).
+        kernel = make_fused_kernel(
+            model, graph, adjacency, forward, loss_fn,
+            strict=engine_name == "fused",
+        )
     # Deterministic-forward models (no dropout, no stochastic loss term):
     # a train-mode forward is bit-identical to an eval-mode one, so epoch
     # t's validation logits equal epoch t+1's training logits — reuse them

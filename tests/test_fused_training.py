@@ -4,9 +4,11 @@ The fused kernels (:mod:`repro.nn.fastpath`) promise *bit-identical* weight
 trajectories to the autodiff engine — not approximately equal, equal to the
 last ULP.  These tests pin that promise across the whole fusible family
 (GCN depths 1-4 with and without dropout, SGC, every GNAT view subset in
-both merged and multi-view form), verify the closed-form backward against
-finite differences, check that ineligible setups fall back (or refuse)
-exactly as documented, and exercise the sweep-wide view-operator cache's
+both merged and multi-view form, GAT's dense masked attention, and the
+RGCN/SimPGCN defense fits via their recognized loss terms), verify the
+closed-form backwards against finite differences, check that ineligible
+setups fall back (or refuse, naming the specific blocker) exactly as
+documented, and exercise the sweep-wide view-operator cache's
 content-addressed invalidation.
 """
 
@@ -17,6 +19,14 @@ import pytest
 import scipy.sparse as sp
 
 from repro.core import GNAT
+from repro.defenses.rgcn import RGCN, GaussianGCNModel, KLLoss, _power_normalize
+from repro.defenses.simpgcn import (
+    SSLLoss,
+    SimPGCN,
+    SimPGCNModel,
+    cosine_similarity_matrix,
+    knn_graph,
+)
 from repro.errors import ConfigError
 from repro.graph import gcn_normalize
 from repro.graph.viewcache import (
@@ -40,8 +50,33 @@ from repro.nn.fastpath import (
     resolve_engine,
     training_matches_eval,
 )
+from repro.utils.rng import ensure_rng
 
 CONFIG = TrainConfig(epochs=30, patience=10)
+
+
+def rgcn_setup(graph, seed=11, hidden=8):
+    """Model + operators + loss term exactly as ``RGCN._fit`` builds them."""
+    rng = ensure_rng(seed)
+    model = GaussianGCNModel(graph.num_features, graph.num_classes, hidden, 1.0, rng)
+    operators = (
+        _power_normalize(graph.adjacency, 0.5),
+        _power_normalize(graph.adjacency, 1.0),
+    )
+    return model, operators, KLLoss(model, 5e-4)
+
+
+def simpgcn_setup(graph, seed=13, hidden=8, knn_k=5):
+    """Model + operators + loss term exactly as ``SimPGCN._fit`` builds them."""
+    rng = ensure_rng(seed)
+    adj_feat = gcn_normalize(knn_graph(graph.features, knn_k))
+    adj_topo = gcn_normalize(graph.adjacency)
+    model = SimPGCNModel(graph.num_features, hidden, graph.num_classes, rng)
+    ssl = SSLLoss(
+        model, cosine_similarity_matrix(graph.features), 0.1, 400,
+        graph.num_nodes, rng,
+    )
+    return model, (adj_topo, adj_feat), ssl
 
 
 def outcome(result):
@@ -148,6 +183,73 @@ class TestGNATBitIdentity:
         assert_same_weights(results["autodiff"].model, results["fused"].model)
 
 
+class TestGATBitIdentity:
+    @pytest.mark.parametrize("num_heads", [1, 3])
+    @pytest.mark.parametrize("dropout", [0.0, 0.5])
+    def test_trajectory_identical(self, small_cora, num_heads, dropout):
+        results = {}
+        for engine in ("autodiff", "fused"):
+            model = GAT(
+                small_cora.num_features,
+                small_cora.num_classes,
+                hidden_dim=4,
+                num_heads=num_heads,
+                dropout=dropout,
+                seed=42,
+            )
+            results[engine] = train_node_classifier(
+                model, small_cora, CONFIG, engine=engine
+            )
+        assert outcome(results["autodiff"]) == outcome(results["fused"])
+        assert_same_weights(results["autodiff"].model, results["fused"].model)
+
+
+class TestRGCNBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_trajectory_identical(self, small_cora, seed):
+        results = {}
+        for engine in ("autodiff", "fused"):
+            model, operators, loss = rgcn_setup(small_cora, seed=seed)
+            results[engine] = train_node_classifier(
+                model, small_cora, CONFIG, adjacency=operators,
+                loss_fn=loss, engine=engine,
+            )
+        assert outcome(results["autodiff"]) == outcome(results["fused"])
+        assert_same_weights(results["autodiff"].model, results["fused"].model)
+
+    def test_defender_fit_identical(self, small_cora):
+        accuracies = {}
+        for engine in ("autodiff", "auto"):
+            defender = RGCN(train_config=CONFIG, engine=engine, seed=7)
+            result = defender.fit(small_cora)
+            accuracies[engine] = (result.test_accuracy, result.val_accuracy)
+        assert accuracies["autodiff"] == accuracies["auto"]
+
+
+class TestSimPGCNBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 13])
+    def test_trajectory_identical(self, small_cora, seed):
+        results = {}
+        for engine in ("autodiff", "fused"):
+            model, operators, ssl = simpgcn_setup(small_cora, seed=seed)
+            results[engine] = train_node_classifier(
+                model, small_cora, CONFIG, adjacency=operators,
+                loss_fn=ssl, engine=engine,
+            )
+        assert outcome(results["autodiff"]) == outcome(results["fused"])
+        assert_same_weights(results["autodiff"].model, results["fused"].model)
+
+    def test_defender_fit_identical(self, small_cora):
+        accuracies = {}
+        for engine in ("autodiff", "auto"):
+            defender = SimPGCN(
+                knn_k=5, train_config=CONFIG, engine=engine, seed=7
+            )
+            result = defender.fit(small_cora)
+            accuracies[engine] = (result.test_accuracy, result.val_accuracy)
+        assert accuracies["autodiff"] == accuracies["auto"]
+
+
 # ---------------------------------------------------------------------------
 # Gradcheck: the closed-form backward against finite differences
 
@@ -207,23 +309,86 @@ class TestGradcheck:
         assert kernel is not None
         _numeric_check(kernel, list(model.parameters()))
 
+    def test_fused_gat_backward(self, tiny_graph):
+        model = GAT(
+            tiny_graph.num_features,
+            tiny_graph.num_classes,
+            hidden_dim=3,
+            num_heads=2,
+            dropout=0.0,  # deterministic forward, required for differencing
+            seed=3,
+        )
+        adjacency = gcn_normalize(tiny_graph.adjacency)
+        kernel = make_fused_kernel(model, tiny_graph, adjacency, model.forward, None)
+        assert kernel is not None
+        _numeric_check(kernel, list(model.parameters()))
+
+    def test_fused_rgcn_backward(self, tiny_graph):
+        model, operators, loss = rgcn_setup(tiny_graph, seed=5, hidden=4)
+        # Replaying the same ε draw makes the sampled forward a fixed
+        # deterministic function of the weights, as differencing needs.
+        model._sample_rng = _ReplayRng(model._sample_rng)
+        kernel = make_fused_kernel(
+            model, tiny_graph, operators, model.forward, loss
+        )
+        assert kernel is not None
+        _numeric_check(kernel, list(model.parameters()))
+
+    def test_fused_simpgcn_backward(self, tiny_graph):
+        model, operators, ssl = simpgcn_setup(tiny_graph, seed=5, hidden=4, knn_k=2)
+        ssl.rng = _ReplayRng(ssl.rng)  # fixed pair batch across calls
+        kernel = make_fused_kernel(
+            model, tiny_graph, operators, model.forward, ssl
+        )
+        assert kernel is not None
+        _numeric_check(kernel, list(model.parameters()))
+
+
+class _ReplayRng:
+    """Replays the first draw forever — freezes a stochastic forward."""
+
+    def __init__(self, rng):
+        self._rng = rng
+        self._draws = {}
+
+    def normal(self, size=None):
+        key = ("normal", tuple(np.atleast_1d(size)))
+        if key not in self._draws:
+            self._draws[key] = self._rng.normal(size=size)
+        return self._draws[key]
+
+    def integers(self, low, high=None, size=None):
+        key = ("integers", low, high, tuple(np.atleast_1d(size)))
+        if key not in self._draws:
+            self._draws[key] = self._rng.integers(low, high, size=size)
+        return self._draws[key]
+
 
 # ---------------------------------------------------------------------------
 # Dispatch: what fuses, what falls back, what refuses
 
 
 class TestDispatch:
-    def test_gat_not_fusible(self, tiny_graph):
+    def test_gat_now_fusible(self, tiny_graph):
+        """GAT joined the fused family in the expensive-defender PR."""
         model = GAT(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
         adjacency = gcn_normalize(tiny_graph.adjacency)
-        assert make_fused_kernel(model, tiny_graph, adjacency, model.forward, None) is None
-        with pytest.raises(ConfigError, match="engine='fused'"):
-            train_node_classifier(
-                model, tiny_graph, CONFIG, engine="fused"
-            )
-        # auto silently falls back and still trains.
-        result = train_node_classifier(model, tiny_graph, CONFIG, engine="auto")
+        kernel = make_fused_kernel(model, tiny_graph, adjacency, model.forward, None)
+        assert kernel is not None
+        result = train_node_classifier(model, tiny_graph, CONFIG, engine="fused")
         assert result.epochs_run > 0
+
+    def test_rgcn_and_simpgcn_fusible_via_loss_terms(self, tiny_graph):
+        model, operators, loss = rgcn_setup(tiny_graph, seed=0, hidden=4)
+        assert (
+            make_fused_kernel(model, tiny_graph, operators, model.forward, loss)
+            is not None
+        )
+        model, operators, ssl = simpgcn_setup(tiny_graph, seed=0, hidden=4, knn_k=2)
+        assert (
+            make_fused_kernel(model, tiny_graph, operators, model.forward, ssl)
+            is not None
+        )
 
     def test_extra_loss_fn_not_fusible(self, tiny_graph):
         model = GCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
@@ -233,11 +398,19 @@ class TestDispatch:
             make_fused_kernel(model, tiny_graph, adjacency, model.forward, loss_fn)
             is None
         )
+        with pytest.raises(ConfigError, match="custom loss_fn"):
+            make_fused_kernel(
+                model, tiny_graph, adjacency, model.forward, loss_fn, strict=True
+            )
 
     def test_dense_adjacency_not_fusible(self, tiny_graph):
         model = GCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
         dense = gcn_normalize(tiny_graph.adjacency).toarray()
         assert make_fused_kernel(model, tiny_graph, dense, model.forward, None) is None
+        with pytest.raises(ConfigError, match="dense ndarray, not scipy.sparse"):
+            make_fused_kernel(
+                model, tiny_graph, dense, model.forward, None, strict=True
+            )
 
     def test_subclass_not_fusible(self, tiny_graph):
         class TweakedGCN(GCN):
@@ -246,12 +419,52 @@ class TestDispatch:
         model = TweakedGCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
         adjacency = gcn_normalize(tiny_graph.adjacency)
         assert make_fused_kernel(model, tiny_graph, adjacency, model.forward, None) is None
+        with pytest.raises(ConfigError, match="model class TweakedGCN"):
+            make_fused_kernel(
+                model, tiny_graph, adjacency, model.forward, None, strict=True
+            )
 
     def test_wrapped_forward_not_fusible(self, tiny_graph):
         model = GCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
         adjacency = gcn_normalize(tiny_graph.adjacency)
         wrapped = lambda adj, x: model.forward(adj, x)  # noqa: E731
         assert make_fused_kernel(model, tiny_graph, adjacency, wrapped, None) is None
+        with pytest.raises(ConfigError, match="wrapped or overridden"):
+            make_fused_kernel(
+                model, tiny_graph, adjacency, wrapped, None, strict=True
+            )
+
+    def test_strict_errors_name_the_specific_component(self, tiny_graph):
+        """The engine='fused' refusal must say WHAT is ineligible (bugfix)."""
+        # A KLLoss bound to the wrong model class.
+        gcn = GCN(tiny_graph.num_features, tiny_graph.num_classes, seed=0)
+        rmodel, operators, kl = rgcn_setup(tiny_graph, seed=0, hidden=4)
+        adjacency = gcn_normalize(tiny_graph.adjacency)
+        with pytest.raises(ConfigError, match="KLLoss pairs with GaussianGCNModel"):
+            make_fused_kernel(gcn, tiny_graph, adjacency, gcn.forward, kl, strict=True)
+        # A KLLoss bound to a different instance of the right class.
+        other, _, _ = rgcn_setup(tiny_graph, seed=1, hidden=4)
+        with pytest.raises(ConfigError, match="different model instance"):
+            make_fused_kernel(
+                rmodel, tiny_graph, operators, rmodel.forward,
+                KLLoss(other, 5e-4), strict=True,
+            )
+        # A dense operator inside the (mean, variance) pair.
+        dense_pair = (operators[0].toarray(), operators[1])
+        with pytest.raises(ConfigError, match="mean operator is a dense ndarray"):
+            make_fused_kernel(
+                rmodel, tiny_graph, dense_pair, rmodel.forward, kl, strict=True
+            )
+        # An SSLLoss paired with the wrong model class.
+        smodel, s_ops, ssl = simpgcn_setup(tiny_graph, seed=0, hidden=4, knn_k=2)
+        with pytest.raises(ConfigError, match="SSLLoss pairs with SimPGCNModel"):
+            make_fused_kernel(gcn, tiny_graph, s_ops, gcn.forward, ssl, strict=True)
+        # The engine='fused' prefix survives through the trainer.
+        with pytest.raises(ConfigError, match="engine='fused'.*custom loss_fn"):
+            train_node_classifier(
+                gcn, tiny_graph, CONFIG, adjacency=adjacency,
+                loss_fn=lambda logits: logits.sum(), engine="fused",
+            )
 
     def test_training_matches_eval_rules(self, tiny_graph):
         deterministic = GCN(tiny_graph.num_features, tiny_graph.num_classes, dropout=0.0)
@@ -268,6 +481,17 @@ class TestDispatch:
         assert not training_matches_eval(
             deterministic, deterministic.forward, lambda logits: logits.sum()
         )
+        # GAT: deterministic exactly when dropout is off.
+        gat_det = GAT(tiny_graph.num_features, tiny_graph.num_classes, dropout=0.0)
+        gat_sto = GAT(tiny_graph.num_features, tiny_graph.num_classes, dropout=0.5)
+        assert training_matches_eval(gat_det, gat_det.forward, None)
+        assert not training_matches_eval(gat_sto, gat_sto.forward, None)
+        # SimPGCN's SSL term randomizes the loss, never the logits.
+        smodel, _, ssl = simpgcn_setup(tiny_graph, seed=0, hidden=4, knn_k=2)
+        assert training_matches_eval(smodel, smodel.forward, ssl)
+        # RGCN's training logits are sampled: never reusable for validation.
+        rmodel, _, kl = rgcn_setup(tiny_graph, seed=0, hidden=4)
+        assert not training_matches_eval(rmodel, rmodel.forward, kl)
 
 
 class TestResolveEngine:
@@ -414,6 +638,35 @@ class TestSweepEquivalence:
             clear_view_cache()
             workdir = tmp_path / label
             table, _, _ = run_sweep(jobs=jobs, checkpoint=SweepCheckpoint(workdir))
+            runs[label] = (cells_of(table), journal_records(workdir))
+
+        assert runs["autodiff-serial"] == runs["auto-serial"]
+        assert runs["auto-serial"] == runs["auto-parallel"]
+
+    def test_expensive_defenders_fuse_identically_in_sweeps(
+        self, tmp_path, monkeypatch
+    ):
+        """GAT/RGCN/SimPGCN cells: fused sweeps match the autodiff oracle
+        cell-for-cell and journal-for-journal, serial and parallel."""
+        from tests.test_parallel_sweep import cells_of, journal_records, run_sweep
+        from repro.experiments import ExperimentScale, SweepCheckpoint
+
+        scale = ExperimentScale(scale=0.04, seeds=1, rate=0.1)
+        runs = {}
+        for label, engine, jobs in (
+            ("autodiff-serial", "autodiff", 1),
+            ("auto-serial", "auto", 1),
+            ("auto-parallel", "auto", 2),
+        ):
+            monkeypatch.setenv("REPRO_ENGINE", engine)
+            clear_view_cache()
+            workdir = tmp_path / label
+            table, _, _ = run_sweep(
+                jobs=jobs,
+                checkpoint=SweepCheckpoint(workdir),
+                defenders=["GAT", "RGCN", "SimPGCN"],
+                scale=scale,
+            )
             runs[label] = (cells_of(table), journal_records(workdir))
 
         assert runs["autodiff-serial"] == runs["auto-serial"]

@@ -43,17 +43,29 @@ DEFENDERS = ["GCN", "GCN-SVD"]
 JOBS = 2
 
 
-def run_sweep(jobs=1, checkpoint=None, fault_spec=None, deadline=None):
+def run_sweep(
+    jobs=1,
+    checkpoint=None,
+    fault_spec=None,
+    deadline=None,
+    attackers=None,
+    defenders=None,
+    scale=None,
+):
     executor = make_executor(jobs)
     runner = ExperimentRunner(
-        CONFIG,
+        scale or CONFIG,
         supervisor=TrialSupervisor(TrialPolicy(max_attempts=2, deadline_seconds=deadline)),
         checkpoint=checkpoint,
         executor=executor,
     )
     injector = FaultInjector(FaultInjector.parse(fault_spec)) if fault_spec else None
     with faults.active(injector):
-        table = runner.accuracy_table("cora", attackers=ATTACKERS, defenders=DEFENDERS)
+        table = runner.accuracy_table(
+            "cora",
+            attackers=attackers or ATTACKERS,
+            defenders=defenders or DEFENDERS,
+        )
     return table, executor, injector
 
 
