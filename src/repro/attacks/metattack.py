@@ -28,6 +28,7 @@ from ..errors import ConfigError
 from ..graph import EdgeFlip, FeatureFlip, Graph, apply_perturbations, gcn_normalize_dense
 from ..surrogate import linear_propagation
 from ..tensor import Tensor, functional as F
+from ..utils import cancellation, faults, snapshots
 from ..utils.rng import SeedLike, ensure_rng
 from .base import AttackBudget, Attacker, AttackResult
 
@@ -136,25 +137,87 @@ class Metattack(Attacker):
     def _run(self, graph: Graph, budget: AttackBudget) -> AttackResult:
         if graph.labels is None or graph.train_mask is None:
             raise ConfigError("Metattack is gray-box: it requires labels and a train mask")
-        labels = self._pseudo_labels(graph) if self.self_training else graph.labels
-        attack_mask = (
-            ~graph.train_mask if self.self_training else graph.train_mask
-        )
 
         n, d = graph.num_nodes, graph.num_features
         adj_hat = graph.dense_adjacency()
         feat_hat = graph.features.copy()
-        n_classes = int(labels.max()) + 1
-        limit = np.sqrt(6.0 / (d + n_classes))
-        w_init = self._rng.uniform(-limit, limit, size=(d, n_classes))
-
         edge_allowed = np.triu(np.ones((n, n), dtype=bool), k=1)
         feat_allowed = np.ones((n, d), dtype=bool)
         result = AttackResult(original=graph, poisoned=graph, budget=budget)
         spent = 0.0
+        flip_log: list[tuple[int, int, int]] = []
+
+        # Preemption: the greedy loop itself consumes no RNG, so pseudo
+        # labels + the inner weight init + the interleaved flip log are the
+        # whole loop state.  Replaying the recorded flips onto the dense
+        # buffers reconstructs the interrupted state bit-exactly.
+        unit = snapshots.begin_unit(f"attack:{self.name}")
+        resumed = unit.resume_state()
+        if resumed is not None:
+            arrays, meta = resumed
+            labels = arrays["labels"]
+            w_init = arrays["w_init"]
+            flip_log = [
+                (int(kind), int(u), int(v))
+                for kind, (u, v) in zip(arrays["flip_kinds"], arrays["flip_uv"])
+            ]
+            for kind, u, v in flip_log:
+                if kind == 0:
+                    new_value = 0.0 if adj_hat[u, v] else 1.0
+                    adj_hat[u, v] = new_value
+                    adj_hat[v, u] = new_value
+                    edge_allowed[u, v] = False
+                    result.edge_flips.append(EdgeFlip(u, v))
+                else:
+                    feat_hat[u, v] = 1.0 - feat_hat[u, v]
+                    feat_allowed[u, v] = False
+                    result.feature_flips.append(FeatureFlip(u, v))
+            result.objective_trace = [float(x) for x in arrays["objective_trace"]]
+            spent = float(meta["spent"])
+            snapshots.restore_generator(self._rng, meta["rng"])
+        else:
+            labels = self._pseudo_labels(graph) if self.self_training else graph.labels
+            n_classes = int(labels.max()) + 1
+            limit = np.sqrt(6.0 / (d + n_classes))
+            w_init = self._rng.uniform(-limit, limit, size=(d, n_classes))
+        attack_mask = (
+            ~graph.train_mask if self.self_training else graph.train_mask
+        )
         min_cost = 1.0 if not self.attack_features else min(1.0, budget.feature_cost)
 
+        def attack_state() -> tuple[dict, dict]:
+            return (
+                {
+                    "flip_kinds": np.asarray(
+                        [kind for kind, _, _ in flip_log], dtype=np.int8
+                    ),
+                    "flip_uv": np.asarray(
+                        [(u, v) for _, u, v in flip_log], dtype=np.int64
+                    ).reshape(-1, 2),
+                    "objective_trace": np.asarray(
+                        result.objective_trace, dtype=np.float64
+                    ),
+                    "labels": np.asarray(labels),
+                    "w_init": w_init,
+                },
+                {
+                    "step": len(result.objective_trace),
+                    "spent": spent,
+                    "rng": snapshots.generator_state(self._rng),
+                },
+            )
+
         while spent + min_cost <= budget.total + 1e-12:
+            faults.perturb(
+                "metattack", attacker=self.name, step=len(result.objective_trace)
+            )
+            cancellation.checkpoint(
+                "metattack",
+                unit=unit,
+                state=attack_state,
+                attacker=self.name,
+                step=len(result.objective_trace),
+            )
             adj_grad, feat_grad, loss_value = self._meta_gradient(
                 adj_hat, feat_hat, labels, graph.train_mask, attack_mask, w_init
             )
@@ -184,6 +247,7 @@ class Metattack(Attacker):
                 feat_hat[u, dim] = 1.0 - feat_hat[u, dim]
                 feat_allowed[u, dim] = False
                 result.feature_flips.append(FeatureFlip(int(u), int(dim)))
+                flip_log.append((1, int(u), int(dim)))
                 spent += budget.feature_cost
             else:
                 if not np.isfinite(best_edge_score) or spent + 1.0 > budget.total + 1e-12:
@@ -194,6 +258,7 @@ class Metattack(Attacker):
                 adj_hat[v, u] = new_value
                 edge_allowed[u, v] = False
                 result.edge_flips.append(EdgeFlip(int(u), int(v)))
+                flip_log.append((0, int(u), int(v)))
                 spent += 1.0
 
         result.poisoned = apply_perturbations(

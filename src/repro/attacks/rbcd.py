@@ -40,7 +40,7 @@ from ..core.difference import DifferenceObjective, IncrementalScorer
 from ..errors import ConfigError, DegradedWarning
 from ..graph import EdgeFlip, Graph, apply_perturbations
 from ..surrogate import PropagationCache
-from ..utils import faults
+from ..utils import cancellation, faults, snapshots
 from ..utils.rng import SeedLike
 from .base import AttackBudget, Attacker, AttackResult
 
@@ -273,10 +273,62 @@ class GRBCD(_BlockCoordinateAttacker):
         if exhaustive:
             edge_allowed = np.triu(np.ones((n, n), dtype=bool), k=1)
 
+        # Preemption: flips + sampler position + working block geometry are
+        # the whole loop state.  The cached A_n is a pure function of the
+        # current topology, so replaying the recorded flips as one batch
+        # reconstructs it bit-exactly mid-attack.
+        unit = snapshots.begin_unit(f"attack:{self.name}")
+        resumed = unit.resume_state()
+        if resumed is not None:
+            arrays, meta = resumed
+            batch = [EdgeFlip(int(u), int(v)) for u, v in arrays["flip_uv"]]
+            cache.apply_batch(batch)
+            result.edge_flips.extend(batch)
+            result.objective_trace = [float(x) for x in arrays["objective_trace"]]
+            spent = float(meta["spent"])
+            self._active_block = int(meta["active_block"])
+            exhaustive = bool(meta["exhaustive"])
+            if len(batch):
+                flipped_keys = np.unique(
+                    np.asarray([flip.u * n + flip.v for flip in batch], dtype=np.int64)
+                )
+            if exhaustive:
+                if edge_allowed is None:
+                    edge_allowed = np.triu(np.ones((n, n), dtype=bool), k=1)
+                for flip in batch:
+                    edge_allowed[flip.u, flip.v] = False
+            snapshots.restore_generator(self._rng, meta["rng"])
+
+        def attack_state() -> tuple[dict, dict]:
+            return (
+                {
+                    "flip_uv": np.asarray(
+                        [(f.u, f.v) for f in result.edge_flips], dtype=np.int64
+                    ).reshape(-1, 2),
+                    "objective_trace": np.asarray(
+                        result.objective_trace, dtype=np.float64
+                    ),
+                },
+                {
+                    "step": len(result.objective_trace),
+                    "spent": spent,
+                    "active_block": self._active_block,
+                    "exhaustive": exhaustive,
+                    "rng": snapshots.generator_state(self._rng),
+                },
+            )
+
         while spent + 1.0 <= budget.total + 1e-12:
             try:
                 faults.perturb(
                     "rbcd", attacker=self.name, block=self._active_block
+                )
+                cancellation.checkpoint(
+                    "rbcd",
+                    unit=unit,
+                    state=attack_state,
+                    attacker=self.name,
+                    step=len(result.objective_trace),
                 )
                 if exhaustive:
                     uu, vv = np.nonzero(edge_allowed)
@@ -471,12 +523,71 @@ class PRBCD(_BlockCoordinateAttacker):
         pending = np.empty(0, dtype=np.int64)
         best_loss = -np.inf
         best_commit = pending
+        start_epoch = 0
 
-        for epoch in range(self.epochs):
+        # Preemption: the relaxed iterate (weights over the current block),
+        # the rounding applied in the cache (``committed``) and the sampler
+        # position capture the whole epoch loop.  The cache is rebuilt on
+        # resume by applying ``committed`` as one batch — A_n is a pure
+        # function of topology, so this matches the interrupted state
+        # bit-exactly.
+        unit = snapshots.begin_unit(f"attack:{self.name}")
+        resumed = unit.resume_state()
+        if resumed is not None:
+            arrays, meta = resumed
+            keys = arrays["keys"]
+            weights = arrays["weights"]
+            scores = arrays["scores"]
+            kick_rank = arrays["kick_rank"]
+            committed = arrays["committed"]
+            pending = arrays["pending"]
+            best_commit = arrays["best_commit"]
+            result.objective_trace = [float(x) for x in arrays["objective_trace"]]
+            best_loss = float(meta["best_loss"])
+            start_epoch = int(meta["epoch"])
+            self._active_block = int(meta["active_block"])
+            exhaustive = bool(meta["exhaustive"])
+            cache.apply_batch(
+                EdgeFlip(*divmod(int(key), n)) for key in committed
+            )
+            snapshots.restore_generator(self._rng, meta["rng"])
+
+        def attack_state() -> tuple[dict, dict]:
+            return (
+                {
+                    "keys": keys,
+                    "weights": weights,
+                    "scores": scores,
+                    "kick_rank": kick_rank,
+                    "committed": committed,
+                    "pending": pending,
+                    "best_commit": best_commit,
+                    "objective_trace": np.asarray(
+                        result.objective_trace, dtype=np.float64
+                    ),
+                },
+                {
+                    "step": len(result.objective_trace),
+                    "epoch": epoch,
+                    "best_loss": best_loss,
+                    "active_block": self._active_block,
+                    "exhaustive": exhaustive,
+                    "rng": snapshots.generator_state(self._rng),
+                },
+            )
+
+        for epoch in range(start_epoch, self.epochs):
             while True:
                 try:
                     faults.perturb(
                         "rbcd", attacker=self.name, epoch=epoch, block=len(keys)
+                    )
+                    cancellation.checkpoint(
+                        "rbcd",
+                        unit=unit,
+                        state=attack_state,
+                        attacker=self.name,
+                        epoch=epoch,
                     )
                     uu, vv = decode_pair_keys(keys, n)
                     scores, loss = self._block_scores(

@@ -18,7 +18,9 @@ tables use.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
+import signal
 import sys
 from typing import Optional, Sequence
 
@@ -27,6 +29,7 @@ import numpy as np
 from .analysis import edge_difference, edge_homophily
 from .datasets import dataset_names, load_dataset
 from .errors import ReproError
+from .utils import cancellation
 from .experiments import (
     ATTACKER_NAMES,
     DEFENDER_NAMES,
@@ -48,7 +51,46 @@ from .utils.resources import (
     parse_bytes,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_INTERRUPTED"]
+
+# Exit code for a sweep stopped by SIGINT/SIGTERM after a graceful
+# shutdown (journal flushed, in-flight trials snapshotted): distinct from
+# 2 (structured error) and 3 (completed with trial failures).
+EXIT_INTERRUPTED = 4
+
+
+@contextlib.contextmanager
+def _graceful_shutdown_signals():
+    """Route SIGINT/SIGTERM through cooperative cancellation for a sweep.
+
+    The first signal flips the process-global shutdown flag: poll sites
+    raise, in-flight trials snapshot, the executor terminates its workers,
+    and the journal is left crash-consistent for ``--resume``.  A repeated
+    signal force-exits immediately (the operator really means it).
+    """
+    previous = {}
+
+    def handler(signum, frame):
+        name = signal.Signals(signum).name
+        if not cancellation.request_shutdown(f"received {name}"):
+            os._exit(130 if signum == signal.SIGINT else 143)
+        print(
+            f"{name}: shutting down gracefully — snapshotting in-flight "
+            "trials (repeat the signal to force-quit)",
+            file=sys.stderr,
+        )
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except ValueError:  # not the main thread (embedded use)
+            pass
+    try:
+        yield
+    finally:
+        for signum, prev in previous.items():
+            signal.signal(signum, prev)
+        cancellation.reset_shutdown()
 
 
 def _add_validate_flag(parser: argparse.ArgumentParser, default: str = "strict") -> None:
@@ -200,7 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline",
         type=float,
         default=None,
-        help="per-trial wall-clock deadline in seconds (default: none)",
+        help="per-trial wall-clock deadline in seconds (default: none); "
+        "deadline-cancelled trials snapshot and resume mid-flight on retry",
+    )
+    p_table.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="with --jobs >= 2: workers beat a liveness beacon at every "
+        "poll site; a worker silent for 2x this interval is terminated and "
+        "its trial requeued (default: no liveness monitoring)",
     )
     _add_validate_flag(p_table)
     _add_engine_flag(p_table)
@@ -302,7 +353,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
         if args.checkpoint_dir
         else None
     )
-    executor = make_executor(args.jobs, blas_threads=args.blas_threads)
+    executor = make_executor(
+        args.jobs,
+        blas_threads=args.blas_threads,
+        heartbeat_interval=args.heartbeat_interval,
+    )
     runner = ExperimentRunner(
         config,
         supervisor=supervisor,
@@ -310,13 +365,24 @@ def _cmd_table(args: argparse.Namespace) -> int:
         executor=executor,
         validate=args.validate,
     )
-    # REPRO_FAULTS lets operators chaos-test a real sweep end to end.
-    with faults.active(faults.FaultInjector.from_env()):
-        table = runner.accuracy_table(
-            args.dataset,
-            attackers=args.attackers or None,
-            defenders=args.defenders or None,
+    try:
+        # REPRO_FAULTS lets operators chaos-test a real sweep end to end.
+        with _graceful_shutdown_signals(), faults.active(
+            faults.FaultInjector.from_env()
+        ):
+            table = runner.accuracy_table(
+                args.dataset,
+                attackers=args.attackers or None,
+                defenders=args.defenders or None,
+            )
+    except cancellation.CancelledError as error:
+        hint = (
+            "re-run with --resume to finish the sweep"
+            if args.checkpoint_dir
+            else "use --checkpoint-dir to make interrupted sweeps resumable"
         )
+        print(f"sweep interrupted ({error}); {hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     if args.jobs > 1 and executor.timings is not None:
         print(executor.timings.summary(), file=sys.stderr)
     if args.compare:

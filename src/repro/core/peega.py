@@ -28,6 +28,7 @@ from ..errors import ConfigError
 from ..graph import EdgeFlip, FeatureFlip, Graph, apply_perturbations
 from ..surrogate import PropagationCache
 from ..tensor import Tensor
+from ..utils import cancellation, faults, snapshots
 from ..utils.rng import SeedLike
 from .difference import DifferenceObjective, IncrementalScorer
 
@@ -176,7 +177,79 @@ class PEEGA(Attacker):
             [1.0] * self.attack_topology + [budget.feature_cost] * self.attack_features
         )
 
+        # Flip application is shared by the live greedy loop and the
+        # snapshot-resume replay below: replaying the recorded flips through
+        # the exact same updates (cache deltas included — A_n values are
+        # pure functions of the integral degrees, so replay is bit-exact)
+        # reconstructs every derived array mid-attack.
+        flip_log: list[tuple[int, int, int]] = []
+
+        def apply_edge_flip(u: int, v: int) -> EdgeFlip:
+            new_value = 0.0 if adj_hat[u, v] else 1.0
+            adj_hat[u, v] = new_value
+            adj_hat[v, u] = new_value
+            if direction_t is not None:
+                direction_t[u, v] = -direction_t[u, v]
+                direction_t[v, u] = -direction_t[v, u]
+            edge_allowed[u, v] = False
+            flip = EdgeFlip(int(u), int(v))
+            result.edge_flips.append(flip)
+            flip_log.append((0, int(u), int(v)))
+            return flip
+
+        def apply_feature_flip(u: int, dim: int) -> FeatureFlip:
+            feat_hat[u, dim] = 1.0 - feat_hat[u, dim]
+            feat_row_sums[u] += 1.0 if feat_hat[u, dim] else -1.0
+            if direction_f is not None:
+                direction_f[u, dim] = -direction_f[u, dim]
+            feat_allowed[u, dim] = False
+            flip = FeatureFlip(int(u), int(dim))
+            result.feature_flips.append(flip)
+            flip_log.append((1, int(u), int(dim)))
+            return flip
+
+        unit = snapshots.begin_unit(f"attack:{self.name}")
+        resumed = unit.resume_state()
+        if resumed is not None:
+            arrays, meta = resumed
+            for kind, (u, v) in zip(arrays["flip_kinds"], arrays["flip_uv"]):
+                flip = (
+                    apply_edge_flip(int(u), int(v))
+                    if int(kind) == 0
+                    else apply_feature_flip(int(u), int(v))
+                )
+                if cache is not None:
+                    cache.apply(flip)
+            result.objective_trace = [float(x) for x in arrays["objective_trace"]]
+            spent = float(meta["spent"])
+            snapshots.restore_generator(self._rng, meta["rng"])
+
+        def attack_state() -> tuple[dict, dict]:
+            return (
+                {
+                    "flip_kinds": np.asarray(
+                        [kind for kind, _, _ in flip_log], dtype=np.int8
+                    ),
+                    "flip_uv": np.asarray(
+                        [(u, v) for _, u, v in flip_log], dtype=np.int64
+                    ).reshape(-1, 2),
+                    "objective_trace": np.asarray(
+                        result.objective_trace, dtype=np.float64
+                    ),
+                },
+                {
+                    "step": len(result.objective_trace),
+                    "spent": spent,
+                    "rng": snapshots.generator_state(self._rng),
+                },
+            )
+
         while spent + min_cost <= budget.total + 1e-12:
+            iteration = len(result.objective_trace)
+            faults.perturb("peega", attacker=self.name, iteration=iteration)
+            cancellation.checkpoint(
+                "peega", unit=unit, state=attack_state, iteration=iteration
+            )
             if scorer is not None:
                 score_t, score_f, loss_value = self._scores_cached(
                     scorer, feat_hat, direction_t, direction_f, frontier
@@ -216,23 +289,9 @@ class PEEGA(Attacker):
                 if spent + cost > budget.total + 1e-12:
                     continue
                 if kind == "edge":
-                    new_value = 0.0 if adj_hat[u, v] else 1.0
-                    adj_hat[u, v] = new_value
-                    adj_hat[v, u] = new_value
-                    if direction_t is not None:
-                        direction_t[u, v] = -direction_t[u, v]
-                        direction_t[v, u] = -direction_t[v, u]
-                    edge_allowed[u, v] = False
-                    flip = EdgeFlip(int(u), int(v))
-                    result.edge_flips.append(flip)
+                    flip = apply_edge_flip(u, v)
                 else:
-                    feat_hat[u, v] = 1.0 - feat_hat[u, v]
-                    feat_row_sums[u] += 1.0 if feat_hat[u, v] else -1.0
-                    if direction_f is not None:
-                        direction_f[u, v] = -direction_f[u, v]
-                    feat_allowed[u, v] = False
-                    flip = FeatureFlip(int(u), int(v))
-                    result.feature_flips.append(flip)
+                    flip = apply_feature_flip(u, v)
                 if cache is not None:
                     cache.apply(flip)
                 spent += cost

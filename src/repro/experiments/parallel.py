@@ -51,6 +51,10 @@ back through the pool and abort the sweep, exactly like an operator
 from __future__ import annotations
 
 import dataclasses
+import os
+import shutil
+import signal
+import tempfile
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -63,7 +67,8 @@ import multiprocessing
 from ..attacks.base import AttackResult
 from ..errors import CapacityWarning, ConfigError, DegradedWarning
 from ..graph import Graph
-from ..utils import faults
+from ..utils import cancellation, faults
+from ..utils.snapshots import TrialSnapshotter
 from ..utils.blas import cpu_count, limit_blas_threads, plan_worker_threads
 from ..utils.resources import MAX_DEGRADE_LEVEL, budget_from_env, degraded_footprint, install_budget
 from .supervisor import (
@@ -225,6 +230,10 @@ class SweepRuntime:
     store_poison: Callable[[str, AttackResult], Optional[str]]
     record_cell: Callable[[str, str, list[float]], None]
     validate: str = "strict"
+    # Mid-trial snapshot archive for a trial key (None without a
+    # checkpoint): workers snapshot into it and resumed/requeued attempts
+    # restore from it.  See repro.utils.snapshots.
+    snapshot_path: Optional[Callable[[TrialKey], Optional[str]]] = None
 
 
 class _CellTracker:
@@ -323,6 +332,18 @@ class SerialTrialExecutor:
 _WORKER_GRAPHS: dict[tuple, Graph] = {}
 
 
+def _worker_sigterm(signum, frame) -> None:
+    """Worker SIGTERM: cooperative shutdown first, hard exit second.
+
+    The first signal flips the process-global shutdown flag — the running
+    trial observes it at its next poll site, writes a final snapshot, and
+    unwinds (``_execute_trial`` then exits 143).  A second SIGTERM means
+    the parent lost patience (or the trial never polls): exit immediately.
+    """
+    if not cancellation.request_shutdown("worker received SIGTERM"):
+        os._exit(143)
+
+
 def _worker_init(blas_threads: Optional[int]) -> None:
     """Pool initializer: pin the worker's BLAS thread budget and adopt the
     parent's memory budget.
@@ -332,10 +353,50 @@ def _worker_init(blas_threads: Optional[int]) -> None:
     for the honest caveats).  The memory budget arrives the same way — the
     CLI exports ``REPRO_MEMORY_BUDGET`` — so each worker governs its own
     RSS with the same ceiling the parent uses.
+
+    Also clears any shutdown flag inherited through ``fork`` (the parent
+    may be mid-shutdown while draining) and installs the cooperative
+    SIGTERM handler so a parent-initiated termination snapshots before it
+    kills.
     """
     if blas_threads is not None:
         limit_blas_threads(blas_threads)
     install_budget(budget_from_env())
+    cancellation.reset_shutdown()
+    try:
+        signal.signal(signal.SIGTERM, _worker_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread initializer
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def _terminate_pid(pid: int, grace: float) -> None:
+    """SIGTERM ``pid``, give it ``grace`` seconds to unwind, then SIGKILL.
+
+    The grace window is what lets a cooperative worker reach a poll site,
+    persist its mid-trial snapshot, and exit on its own terms; only a
+    worker that stays wedged past it is killed outright.
+    """
+    try:
+        os.kill(pid, signal.SIGTERM)
+    except OSError:
+        return
+    deadline = time.monotonic() + grace
+    while time.monotonic() < deadline:
+        if not _pid_alive(pid):
+            return
+        time.sleep(0.05)
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except OSError:
+        pass
 
 
 def _worker_graph(ref: tuple) -> Graph:
@@ -387,6 +448,15 @@ class _TaskPayload:
     validate: str = "strict"
     degrade: int = 0
     prior_kills: int = 0
+    # Preemption plumbing (see repro.utils.cancellation / .snapshots).
+    # ``prior_kills`` doubles as the heartbeat incarnation: the parent only
+    # trusts beacons stamped with the current dispatch's kill count, so a
+    # stale file from a killed predecessor can never vouch for its
+    # replacement.
+    task_index: int = 0
+    snapshot_path: Optional[str] = None
+    beacon_path: Optional[str] = None
+    heartbeat_interval: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -419,8 +489,14 @@ def _execute_trial(payload: _TaskPayload) -> _WorkerResult:
         dataclasses.replace(
             spec,
             # A kill erased the injector that fired it; seed the replacement
-            # with the prior kill count so bounded oomkill rules stay spent.
-            fired=payload.prior_kills if spec.action == "oomkill" else 0,
+            # with the prior kill count so bounded worker-lethal rules
+            # (oomkill, sigterm, and a hang long enough that the heartbeat
+            # monitor killed the worker) stay spent.
+            fired=(
+                payload.prior_kills
+                if spec.action in ("oomkill", "sigterm", "hang")
+                else 0
+            ),
             match=dict(spec.match),
         )
         for spec in payload.fault_specs
@@ -465,8 +541,34 @@ def _execute_trial(payload: _TaskPayload) -> _WorkerResult:
                 .test_accuracy
             )
 
-    with degraded_footprint(payload.degrade), faults.active(injector):
-        outcome = supervisor.run(key, trial)
+    beacon = None
+    if payload.beacon_path is not None:
+        beacon = cancellation.Beacon(
+            payload.beacon_path,
+            task_index=payload.task_index,
+            incarnation=payload.prior_kills,
+            interval=payload.heartbeat_interval,
+        )
+    sink = (
+        TrialSnapshotter(payload.snapshot_path)
+        if payload.snapshot_path is not None
+        else None
+    )
+    token = cancellation.CancelToken(name=f"worker-{key.label()}")
+    try:
+        with cancellation.trial_scope(token=token, beacon=beacon, sink=sink):
+            if beacon is not None:
+                beacon.beat("dispatch")
+            with degraded_footprint(payload.degrade), faults.active(injector):
+                outcome = supervisor.run(key, trial)
+    except cancellation.CancelledError as error:
+        if error.cause in (cancellation.CAUSE_SHUTDOWN, cancellation.CAUSE_KILL):
+            # Parent-initiated termination (SIGTERM handler above): the
+            # final snapshot is on disk, exit with the conventional
+            # 128+SIGTERM code.  The broken pool surfaces in the parent,
+            # which requeues or resumes the trial.
+            os._exit(143)
+        raise
     return _WorkerResult(
         outcome=outcome,
         events=tuple(injector.events) if injector is not None else (),
@@ -511,17 +613,37 @@ class ParallelTrialExecutor:
         jobs: int,
         blas_threads: Optional[int] = None,
         start_method: Optional[str] = None,
+        heartbeat_interval: Optional[float] = None,
+        kill_grace_seconds: float = 2.0,
     ) -> None:
         if jobs < 2:
             raise ConfigError(
                 f"ParallelTrialExecutor needs jobs >= 2, got {jobs}; "
                 "use SerialTrialExecutor (--jobs 1) instead"
             )
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ConfigError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        if kill_grace_seconds < 0:
+            raise ConfigError(
+                f"kill_grace_seconds must be non-negative, got {kill_grace_seconds}"
+            )
         self.jobs = int(jobs)
         self.blas_threads = (
             int(blas_threads) if blas_threads is not None else plan_worker_threads(jobs)
         )
         self.start_method = start_method
+        # Liveness monitoring (None = disabled): workers beat a per-task
+        # beacon file at every poll site; a worker whose beacon stalls for
+        # 2x the interval is terminated (SIGTERM, grace, SIGKILL) and its
+        # trial requeued through the degradation path.  The contract is
+        # that trial code visits a poll site at least once per interval
+        # during normal operation — choose the interval accordingly.
+        self.heartbeat_interval = (
+            float(heartbeat_interval) if heartbeat_interval is not None else None
+        )
+        self.kill_grace_seconds = float(kill_grace_seconds)
         self.timings: Optional[SweepTimings] = None
 
     def _context(self):
@@ -583,6 +705,13 @@ class ParallelTrialExecutor:
         # running the trial, and which ladder rung its next dispatch uses.
         kill_counts: dict[int, int] = {}
         degrade_levels: dict[int, int] = {}
+        # Heartbeat state: per-task beacon progress as observed by *this*
+        # process's clock — (beat count, monotonic time it was first seen).
+        # No cross-process clock comparison is ever made.
+        beacon_dir: Optional[str] = None
+        if self.heartbeat_interval is not None:
+            beacon_dir = tempfile.mkdtemp(prefix="repro-beacons-")
+        progress: dict[int, tuple[int, float]] = {}
 
         def submit(pool: ProcessPoolExecutor, task: TrialTask) -> None:
             """Resolve a ready task from caches/quarantine or dispatch it."""
@@ -621,6 +750,18 @@ class ParallelTrialExecutor:
                 validate=runtime.validate,
                 degrade=degrade_levels.get(task.index, 0),
                 prior_kills=kill_counts.get(task.index, 0),
+                task_index=task.index,
+                snapshot_path=(
+                    runtime.snapshot_path(task.key)
+                    if runtime.snapshot_path is not None
+                    else None
+                ),
+                beacon_path=(
+                    os.path.join(beacon_dir, f"beacon_{task.index}.json")
+                    if beacon_dir is not None
+                    else None
+                ),
+                heartbeat_interval=self.heartbeat_interval or 1.0,
             )
             submit_times[task.index] = time.monotonic()
             try:
@@ -700,6 +841,7 @@ class ParallelTrialExecutor:
             for task, result in salvaged:
                 process(pool, task, result)
             for task in victims:
+                progress.pop(task.index, None)
                 kill_counts[task.index] = kill_counts.get(task.index, 0) + 1
                 degrade_levels[task.index] = min(
                     degrade_levels.get(task.index, 0) + 1, MAX_DEGRADE_LEVEL
@@ -728,11 +870,69 @@ class ParallelTrialExecutor:
                 submit(pool, task)
             return pool
 
+        def scan_beacons() -> None:
+            """Terminate workers whose beacons stalled past 2x the interval.
+
+            A beacon only *arms* its task once a beat stamped with the
+            current dispatch's incarnation appears — a file left behind by
+            a killed predecessor can neither vouch for nor condemn the
+            replacement.  Progress is judged purely by the beat counter
+            against this process's monotonic clock.
+            """
+            assert self.heartbeat_interval is not None and beacon_dir is not None
+            now = time.monotonic()
+            for future, task in list(inflight.items()):
+                record = cancellation.read_beacon(
+                    os.path.join(beacon_dir, f"beacon_{task.index}.json")
+                )
+                if record is None or int(record.get("incarnation", -1)) != (
+                    kill_counts.get(task.index, 0)
+                ):
+                    continue
+                count = int(record.get("count", 0))
+                seen = progress.get(task.index)
+                if seen is None or seen[0] != count:
+                    progress[task.index] = (count, now)
+                    continue
+                if now - seen[1] > 2.0 * self.heartbeat_interval:
+                    warnings.warn(
+                        f"{task.key.label()}: worker heartbeat stalled for "
+                        f"{now - seen[1]:.2f}s (> 2x {self.heartbeat_interval:g}s "
+                        "interval); terminating the worker and requeuing",
+                        DegradedWarning,
+                        stacklevel=3,
+                    )
+                    progress.pop(task.index, None)
+                    _terminate_pid(int(record.get("pid", 0)), self.kill_grace_seconds)
+                    # The dead worker breaks the pool; the scheduler loop's
+                    # BrokenProcessPool handler requeues this trial through
+                    # recover()'s degradation path.
+
+        def terminate_workers(pool: ProcessPoolExecutor) -> None:
+            """SIGTERM every live pool worker (cooperative: they snapshot
+            at their next poll site and exit 143)."""
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                if proc.is_alive():
+                    proc.terminate()
+
         pool = self._make_pool()
         pending.extend(task for task in plan.tasks if task.depends_on is None)
+        # A timed wait keeps the scheduler responsive to shutdown requests
+        # (the SIGINT handler only flips a flag) and paces beacon scans at
+        # half the heartbeat interval so a stall is caught within 2x.
+        wait_timeout = (
+            self.heartbeat_interval / 2.0
+            if self.heartbeat_interval is not None
+            else 0.5
+        )
         try:
             while True:
                 try:
+                    if cancellation.shutdown_requested():
+                        raise cancellation.CancelledError(
+                            cancellation.CAUSE_SHUTDOWN,
+                            "sweep interrupted by shutdown request",
+                        )
                     # Snapshot: submit() re-parks tasks on `pending` when the
                     # pool is broken, and those must not respin this pass.
                     batch, pending[:] = list(pending), []
@@ -747,7 +947,11 @@ class ParallelTrialExecutor:
                             pool = recover(pool)
                             continue
                         break
-                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    done, _ = wait(
+                        inflight, timeout=wait_timeout, return_when=FIRST_COMPLETED
+                    )
+                    if beacon_dir is not None:
+                        scan_beacons()
                     # Canonical-index order within a completion batch keeps
                     # the parent's bookkeeping deterministic under ties.
                     for future in sorted(done, key=lambda f: inflight[f].index):
@@ -764,6 +968,15 @@ class ParallelTrialExecutor:
                         process(pool, task, result)
                 except BrokenProcessPool:
                     pool = recover(pool)
+        except cancellation.CancelledError:
+            # Graceful shutdown: SIGTERM the workers so in-flight trials
+            # snapshot at their next poll site and exit, then drain the
+            # (broken) pool.  The journal holds every completed cell and
+            # the snapshots hold every interrupted trial, so --resume
+            # finishes the sweep bit-identically.
+            terminate_workers(pool)
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
         except BaseException:
             # Injected kill / operator interrupt: drop queued work, let
             # in-flight trials drain, then propagate — the checkpoint holds
@@ -773,6 +986,8 @@ class ParallelTrialExecutor:
         else:
             pool.shutdown(wait=True)
         finally:
+            if beacon_dir is not None:
+                shutil.rmtree(beacon_dir, ignore_errors=True)
             timings.finish()
         return outcomes
 
@@ -801,6 +1016,8 @@ def make_executor(
     blas_threads: Optional[int] = None,
     start_method: Optional[str] = None,
     total_cores: Optional[int] = None,
+    heartbeat_interval: Optional[float] = None,
+    kill_grace_seconds: float = 2.0,
 ):
     """The executor for ``--jobs N``: serial for 1, process pool otherwise.
 
@@ -829,7 +1046,13 @@ def make_executor(
         jobs = limit
     if jobs == 1:
         return SerialTrialExecutor()
-    return ParallelTrialExecutor(jobs, blas_threads=blas_threads, start_method=start_method)
+    return ParallelTrialExecutor(
+        jobs,
+        blas_threads=blas_threads,
+        start_method=start_method,
+        heartbeat_interval=heartbeat_interval,
+        kill_grace_seconds=kill_grace_seconds,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -28,8 +28,9 @@ from ..attacks.base import AttackResult, Attacker
 from ..datasets import load_dataset
 from ..defenses.base import Defender
 from ..graph import Graph
-from ..utils import faults
+from ..utils import cancellation, faults
 from ..utils.keystore import KeyedArtifactStore
+from ..utils.snapshots import TrialSnapshotter
 from ..utils.resources import budget_check
 from .config import ExperimentScale, defender_names_for, make_attacker, make_defender
 from .supervisor import (
@@ -259,14 +260,26 @@ class ExperimentRunner:
         executors use to reach this runner's caches and checkpoint."""
         from .parallel import SweepRuntime
 
+        def trial_sink(key: TrialKey):
+            # One snapshot archive per trial key, living next to the journal:
+            # interrupted trials resume mid-flight on the next attempt (or
+            # the next --resume invocation) instead of restarting.
+            if self.checkpoint is None:
+                return None
+            return TrialSnapshotter(self.checkpoint.snapshot_path(key))
+
         def run_attack(key: TrialKey):
-            return supervisor.run(
-                key,
-                lambda attempt: self.attack(dataset, key.attacker, rate, attempt=attempt),
-            )
+            with cancellation.trial_scope(sink=trial_sink(key)):
+                return supervisor.run(
+                    key,
+                    lambda attempt: self.attack(
+                        dataset, key.attacker, rate, attempt=attempt
+                    ),
+                )
 
         def run_defense(key: TrialKey, graph: Graph):
-            return supervisor.run(key, self._defense_trial(key, graph, dataset))
+            with cancellation.trial_scope(sink=trial_sink(key)):
+                return supervisor.run(key, self._defense_trial(key, graph, dataset))
 
         def poison_lookup(attacker_name: str) -> Optional[AttackResult]:
             key = self._poison_key(dataset, attacker_name, rate)
@@ -309,6 +322,11 @@ class ExperimentRunner:
                     dataset.lower(), attacker_name, rate, defender_name, values
                 )
 
+        def snapshot_path(key: TrialKey) -> Optional[str]:
+            if self.checkpoint is None:
+                return None
+            return str(self.checkpoint.snapshot_path(key))
+
         return SweepRuntime(
             dataset=dataset,
             rate=rate,
@@ -323,6 +341,7 @@ class ExperimentRunner:
             poison_path=poison_path,
             store_poison=store_poison,
             record_cell=record_cell,
+            snapshot_path=snapshot_path,
         )
 
     def accuracy_table(

@@ -52,7 +52,7 @@ from ..io import (
     load_attack_result,
     save_attack_result,
 )
-from ..utils import faults
+from ..utils import cancellation, faults
 from ..utils.keystore import estimate_nbytes
 from ..utils.resources import (
     MAX_DEGRADE_LEVEL,
@@ -179,6 +179,9 @@ class TrialPolicy:
     deadline_seconds: Optional[float] = None
     backoff_seconds: float = 0.05
     backoff_factor: float = 2.0
+    # How long a deadline-cancelled trial gets to reach its next poll site
+    # and unwind before the supervisor stops waiting for its thread.
+    grace_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -190,6 +193,10 @@ class TrialPolicy:
         if self.backoff_seconds < 0:
             raise ConfigError(
                 f"backoff_seconds must be non-negative, got {self.backoff_seconds}"
+            )
+        if self.grace_seconds < 0:
+            raise ConfigError(
+                f"grace_seconds must be non-negative, got {self.grace_seconds}"
             )
 
     def backoff_for(self, attempt: int) -> float:
@@ -251,14 +258,23 @@ class TrialSupervisor:
         last_error: Optional[BaseException] = None
         last_tb = ""
         degrade = 0
+        sink = cancellation.current_sink()
         for attempt in range(self.policy.max_attempts):
+            # When a mid-trial snapshot exists, run under the attempt it
+            # was written for so the resumed trial re-derives the same
+            # seeds and splices onto its own trajectory.
+            run_attempt = (
+                sink.start_attempt(attempt) if sink is not None else attempt
+            )
             try:
                 # Level 0 is a no-op; after a memory-exhausted attempt the
                 # retry runs one rung down the degradation ladder (fewer
                 # BLAS threads, smaller candidate block, autodiff engine)
                 # instead of repeating the same allocation verbatim.
                 with degraded_footprint(degrade):
-                    value = self._attempt(key, fn, attempt)
+                    value = self._attempt(key, fn, run_attempt)
+                if sink is not None:
+                    sink.discard()
                 return TrialOutcome(
                     key=key,
                     value=value,
@@ -277,6 +293,15 @@ class TrialSupervisor:
                         DegradedWarning,
                         stacklevel=2,
                     )
+                # Deadline trips and memory exhaustion are *interruptions*:
+                # the snapshot lets the retry resume mid-trial instead of
+                # restarting.  Any other failure reseeds, so stale state
+                # from the failed trajectory must not leak into it.
+                resumable = isinstance(error, DeadlineError) or _memory_exhaustion(
+                    error
+                )
+                if sink is not None and not resumable:
+                    sink.discard()
                 if attempt + 1 < self.policy.max_attempts:
                     self._sleep(self.policy.backoff_for(attempt + 1))
 
@@ -315,12 +340,24 @@ class TrialSupervisor:
         if deadline is None:
             return fn(attempt)
 
+        # Cooperative deadline: the trial thread inherits the ambient scope
+        # (snapshot sink, heartbeat beacon, any outer shutdown token) plus a
+        # deadline token.  Poll sites inside the trial observe expiry, write
+        # a final snapshot, and raise — so the thread *exits* and is joined
+        # instead of being abandoned mid-flight.
+        token = cancellation.CancelToken(
+            deadline_seconds=deadline,
+            parent=cancellation.current_token(),
+            name=f"trial-{key.label()}",
+        )
+        ambient = cancellation.current_scope()
         box: dict[str, Any] = {}
         done = threading.Event()
 
         def target() -> None:
             try:
-                box["value"] = fn(attempt)
+                with cancellation.trial_scope(token=token, inherit=ambient):
+                    box["value"] = fn(attempt)
             except BaseException as error:  # noqa: BLE001 — re-raised below
                 box["error"] = error
             finally:
@@ -331,20 +368,38 @@ class TrialSupervisor:
         )
         started = time.perf_counter()
         worker.start()
-        if not done.wait(deadline):
-            # The worker is abandoned (daemon): Python threads cannot be
-            # killed, so a genuinely hung trial leaks a sleeping thread.
-            raise DeadlineError(
-                f"trial {key.label()} exceeded its {deadline:g}s deadline "
-                f"on attempt {attempt + 1}",
-                deadline_seconds=deadline,
-                key=key,
-                attempts=attempt + 1,
-                elapsed_seconds=time.perf_counter() - started,
+        if done.wait(deadline):
+            error = box.get("error")
+            if isinstance(error, cancellation.CancelledError) and (
+                error.cause == cancellation.CAUSE_DEADLINE
+            ):
+                pass  # trial observed its own deadline at a poll site
+            elif error is not None:
+                raise error
+            else:
+                return box["value"]
+        else:
+            # Backstop for trials blocked between poll sites: flip the
+            # token explicitly (its own deadline has also expired by now)
+            # and give the thread a bounded grace period to reach a poll
+            # site, write its final snapshot, and unwind.  Only a trial
+            # that never polls — a genuine hang in foreign code — is still
+            # abandoned (daemon) after the grace join times out.  A value
+            # computed past the deadline is discarded either way: the
+            # deadline contract beats a lucky late finish.
+            token.cancel(
+                cancellation.CAUSE_DEADLINE,
+                f"trial {key.label()} exceeded its {deadline:g}s deadline",
             )
-        if "error" in box:
-            raise box["error"]
-        return box["value"]
+            worker.join(self.policy.grace_seconds)
+        raise DeadlineError(
+            f"trial {key.label()} exceeded its {deadline:g}s deadline "
+            f"on attempt {attempt + 1}",
+            deadline_seconds=deadline,
+            key=key,
+            attempts=attempt + 1,
+            elapsed_seconds=time.perf_counter() - started,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -517,6 +572,17 @@ class SweepCheckpoint:
     def record_failure(self, failure: TrialFailure) -> None:
         """Journal a trial failure (cell stays incomplete for resume)."""
         self._append({"kind": "failure", **failure.to_json()})
+
+    # -- mid-trial snapshots --------------------------------------------
+    def snapshot_path(self, key: TrialKey) -> Path:
+        """Archive path for ``key``'s mid-trial snapshot (one per trial).
+
+        Snapshots are transient by design: they exist only between an
+        interruption and the resumed attempt that consumes them, and are
+        discarded when the trial completes or reseeds.
+        """
+        slug = "".join(c if c.isalnum() else "-" for c in key.label())
+        return self.directory / f"snapshot_{slug}.npz"
 
     # -- poison graphs --------------------------------------------------
     def poison_path(

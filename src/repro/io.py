@@ -42,6 +42,9 @@ __all__ = [
     "journal_record_digest",
     "atomic_write_json",
     "atomic_write_text",
+    "save_snapshot",
+    "load_snapshot",
+    "peek_snapshot_meta",
 ]
 
 _FORMAT_VERSION = 2
@@ -312,6 +315,55 @@ def load_attack_result(path: PathLike, validate: str = "off") -> AttackResult:
         objective_trace=objective_trace,
         runtime_seconds=float(meta.get("runtime_seconds", 0.0)),
     )
+
+
+def save_snapshot(path: PathLike, arrays: dict[str, np.ndarray], meta: dict) -> None:
+    """Write a mid-trial snapshot archive (atomically, with digests).
+
+    ``arrays`` maps names to ndarrays (weights, optimizer moments, flip
+    histories); ``meta`` is any JSON-serializable dict (RNG states, loop
+    counters, unit bookkeeping).  The archive reuses the checksummed
+    format-v2 machinery, so a torn or bit-flipped snapshot is *detected*
+    on load rather than resumed from.
+    """
+    payload = {
+        key: np.ascontiguousarray(value) for key, value in arrays.items()
+    }
+    _finalize_payload(payload, {"kind": "snapshot", "state": meta})
+    _atomic_savez(path, payload)
+
+
+def load_snapshot(path: PathLike) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a snapshot written by :func:`save_snapshot` → ``(arrays, meta)``.
+
+    Raises :class:`CorruptArtifactError` on integrity failure — callers
+    (the snapshot sink) treat that as "no snapshot" and restart the trial
+    from scratch rather than resuming from damaged state.
+    """
+    data, meta = _read_archive(path, expected_kind="snapshot")
+    data.pop("meta", None)
+    state = meta.get("state")
+    if not isinstance(state, dict):
+        raise CorruptArtifactError(f"{path}: snapshot carries no state record")
+    return data, state
+
+
+def peek_snapshot_meta(path: PathLike) -> Optional[dict]:
+    """Best-effort read of a snapshot's state meta without array verification.
+
+    Used by the parallel scheduler to judge forward progress of a killed
+    task before deciding whether to degrade its requeue footprint; any
+    unreadable or non-snapshot file yields ``None``.
+    """
+    try:
+        with np.load(Path(path), allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+        if meta.get("kind") != "snapshot":
+            return None
+        state = meta.get("state")
+        return state if isinstance(state, dict) else None
+    except Exception:  # noqa: BLE001 — peeking must never raise
+        return None
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,7 @@ import scipy.sparse as sp
 from ..errors import ConfigError, DivergenceError
 from ..graph import Graph, gcn_normalize
 from ..tensor import Adam, Tensor, functional as F, no_grad
-from ..utils import faults
+from ..utils import cancellation, faults, snapshots
 from ..utils.rng import SeedLike
 from .fastpath import make_fused_kernel, resolve_engine, training_matches_eval
 from .metrics import accuracy
@@ -70,6 +70,91 @@ class TrainResult:
 
 AdjacencyLike = Union[sp.spmatrix, Tensor, np.ndarray]
 ForwardFn = Callable[[AdjacencyLike, Tensor], Tensor]
+
+
+def _collect_generators(*roots) -> list[tuple[str, np.random.Generator]]:
+    """Discover every ``np.random.Generator`` reachable from ``roots``.
+
+    Walks module attribute dicts (sorted names), lists/tuples, and — one
+    level deep — plain objects like loss terms, in a deterministic order,
+    so the same model structure always yields the same ``(path, gen)``
+    sequence.  This is what lets a mid-fit snapshot capture and restore
+    the exact dropout/sampling stream positions without each model class
+    having to declare its RNGs.
+    """
+    found: list[tuple[str, np.random.Generator]] = []
+    seen: set[int] = set()
+
+    def visit(obj, path: str, depth: int) -> None:
+        if obj is None or id(obj) in seen:
+            return
+        if isinstance(obj, np.random.Generator):
+            seen.add(id(obj))
+            found.append((path, obj))
+            return
+        if depth >= 5:
+            return
+        if callable(obj) and hasattr(obj, "__self__"):
+            visit(obj.__self__, f"{path}.__self__", depth + 1)
+            return
+        if isinstance(obj, Module):
+            seen.add(id(obj))
+            attrs = vars(obj)
+            for name in sorted(attrs):
+                visit(attrs[name], f"{path}.{name}", depth + 1)
+        elif isinstance(obj, (list, tuple)):
+            seen.add(id(obj))
+            for index, item in enumerate(obj):
+                visit(item, f"{path}[{index}]", depth + 1)
+        elif depth == 0 and not isinstance(obj, (np.ndarray, Tensor)):
+            try:
+                attrs = vars(obj)
+            except TypeError:
+                return
+            seen.add(id(obj))
+            for name in sorted(attrs):
+                visit(attrs[name], f"{path}.{name}", depth + 1)
+
+    for index, root in enumerate(roots):
+        visit(root, f"r{index}", 0)
+    return found
+
+
+def _fit_snapshot(
+    model: Module,
+    optimizer: Adam,
+    result: "TrainResult",
+    best_state: list[np.ndarray],
+    best_logits: Optional[np.ndarray],
+    stall: int,
+    pending_epoch: Optional[int],
+    epoch: int,
+    rng_slots: list[tuple[str, np.random.Generator]],
+) -> tuple[dict, dict]:
+    """Build the ``(arrays, meta)`` snapshot of a fit at the top of ``epoch``."""
+    arrays: dict[str, np.ndarray] = {}
+    snapshots.pack_list(arrays, "param_", [p.data for p in model.parameters()])
+    opt_state = optimizer.state_dict()
+    snapshots.pack_list(arrays, "adam_m_", opt_state["m"])
+    snapshots.pack_list(arrays, "adam_v_", opt_state["v"])
+    snapshots.pack_list(arrays, "best_state_", best_state)
+    arrays["train_losses"] = np.asarray(result.train_losses, dtype=np.float64)
+    arrays["val_accuracies"] = np.asarray(result.val_accuracies, dtype=np.float64)
+    if best_logits is not None:
+        arrays["best_logits"] = best_logits
+    meta = {
+        "step": int(epoch),
+        "epoch": int(epoch),
+        "step_count": int(opt_state["step_count"]),
+        "stall": int(stall),
+        "pending_epoch": pending_epoch,
+        "best_val_accuracy": float(result.best_val_accuracy),
+        "epochs_run": int(result.epochs_run),
+        "rngs": [
+            [path, snapshots.generator_state(gen)] for path, gen in rng_slots
+        ],
+    }
+    return arrays, meta
 
 
 def evaluate(
@@ -207,10 +292,65 @@ def train_node_classifier(
     # what the separate validation forward used to compute).
     pending_epoch: Optional[int] = None
 
-    for epoch in range(config.epochs):
+    # Preemption support: this fit is one resumable unit of the ambient
+    # trial.  The epoch loop polls cancellation.checkpoint once per epoch,
+    # offering its complete state (weights, Adam moments, RNG stream
+    # positions, early-stopping bookkeeping) to the ambient snapshot sink;
+    # an interrupted fit restores all of it here and continues with a
+    # bit-identical weight trajectory.
+    unit = snapshots.begin_unit("fit")
+    rng_slots = _collect_generators(model, loss_fn, forward)
+    start_epoch = 0
+    resumed = unit.resume_state()
+    if resumed is not None:
+        arrays, meta = resumed
+        for param, saved in zip(
+            model.parameters(), snapshots.unpack_list(arrays, "param_")
+        ):
+            param.data[...] = saved
+        optimizer.load_state_dict(
+            {
+                "step_count": meta["step_count"],
+                "m": snapshots.unpack_list(arrays, "adam_m_"),
+                "v": snapshots.unpack_list(arrays, "adam_v_"),
+            }
+        )
+        best_state = [array.copy() for array in snapshots.unpack_list(arrays, "best_state_")]
+        if "best_logits" in arrays:
+            best_logits = arrays["best_logits"]
+        result.train_losses = [float(x) for x in arrays["train_losses"]]
+        result.val_accuracies = [float(x) for x in arrays["val_accuracies"]]
+        result.best_val_accuracy = float(meta["best_val_accuracy"])
+        result.epochs_run = int(meta["epochs_run"])
+        stall = int(meta["stall"])
+        pending = meta["pending_epoch"]
+        pending_epoch = int(pending) if pending is not None else None
+        saved_rngs = dict((path, state) for path, state in meta["rngs"])
+        for path, gen in rng_slots:
+            if path in saved_rngs:
+                snapshots.restore_generator(gen, saved_rngs[path])
+        start_epoch = int(meta["epoch"])
+
+    for epoch in range(start_epoch, config.epochs):
         model.train()
         optimizer.zero_grad()
         faults.perturb("trainer", epoch=epoch)
+        cancellation.checkpoint(
+            "trainer",
+            unit=unit,
+            state=lambda: _fit_snapshot(
+                model,
+                optimizer,
+                result,
+                best_state,
+                best_logits,
+                stall,
+                pending_epoch,
+                epoch,
+                rng_slots,
+            ),
+            epoch=epoch,
+        )
         if kernel is not None:
             loss_raw, logits_data = kernel.train_forward()
             loss = None

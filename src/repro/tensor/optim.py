@@ -100,6 +100,26 @@ class Adam(Optimizer):
         self._scratch_a = [np.empty_like(p.data) for p in self.params]
         self._scratch_b = [np.empty_like(p.data) for p in self.params]
 
+    def state_dict(self) -> dict:
+        """Optimizer state for mid-trial snapshots (copies, not views)."""
+        return {
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict`; trajectories continue bit-identically."""
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ValueError(
+                "optimizer state does not match the managed parameter list"
+            )
+        self._step_count = int(state["step_count"])
+        for slot, value in zip(self._m, state["m"]):
+            slot[...] = value
+        for slot, value in zip(self._v, state["v"]):
+            slot[...] = value
+
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count

@@ -1,0 +1,356 @@
+"""Cooperative cancellation, liveness beacons, and the trial-scope context.
+
+Every long-running loop in the system (training epochs, greedy attack
+iterations, block-sampled attack epochs) calls :func:`checkpoint` once per
+iteration.  That single poll site does triple duty:
+
+* **liveness** — if the ambient :class:`trial_scope` carries a
+  :class:`Beacon`, the poll emits a heartbeat so a parent process can tell
+  a slow worker from a hung one;
+* **snapshots** — if the caller passes a snapshot unit and a state builder,
+  the poll offers the current loop state to the ambient snapshot sink
+  (throttled by the sink; see :mod:`repro.utils.snapshots`);
+* **cancellation** — if the ambient :class:`CancelToken` (or the
+  process-wide shutdown token) has been cancelled, or its deadline has
+  expired, the poll writes a *final* snapshot and raises
+  :class:`CancelledError` carrying the structured cause.
+
+The contract for new attackers/defenders is exactly one line per loop
+iteration::
+
+    cancellation.checkpoint("my-site", unit=unit, state=build_state, epoch=epoch)
+
+where ``unit`` comes from :func:`repro.utils.snapshots.begin_unit` and
+``build_state`` is a zero-argument callable returning ``(arrays, meta)``.
+Code that never snapshots may call ``checkpoint("my-site")`` bare; the
+uninstalled path is a couple of attribute reads.
+
+:class:`CancelledError` derives from ``BaseException`` (like
+``KeyboardInterrupt`` and the fault injector's ``InjectedKill``) so a
+trial's ordinary ``except Exception`` recovery blocks can never absorb a
+cancellation.  The supervisor converts ``cause="deadline"`` into its
+retriable :class:`~repro.errors.DeadlineError` flow; ``"shutdown"`` and
+``"kill"`` propagate and abort.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+__all__ = [
+    "CAUSE_DEADLINE",
+    "CAUSE_SHUTDOWN",
+    "CAUSE_KILL",
+    "CancelledError",
+    "CancelToken",
+    "Beacon",
+    "read_beacon",
+    "trial_scope",
+    "current_scope",
+    "current_token",
+    "current_sink",
+    "checkpoint",
+    "request_shutdown",
+    "shutdown_requested",
+    "reset_shutdown",
+]
+
+#: Structured cancellation causes carried by :class:`CancelledError`.
+CAUSE_DEADLINE = "deadline"
+CAUSE_SHUTDOWN = "shutdown"
+CAUSE_KILL = "kill"
+
+_CAUSES = (CAUSE_DEADLINE, CAUSE_SHUTDOWN, CAUSE_KILL)
+
+
+class CancelledError(BaseException):
+    """A trial observed a cancelled token at a poll site.
+
+    ``cause`` is one of :data:`CAUSE_DEADLINE` (the token's deadline
+    expired), :data:`CAUSE_SHUTDOWN` (SIGINT/SIGTERM-driven process
+    shutdown), or :data:`CAUSE_KILL` (a supervisor explicitly killed the
+    trial).  ``site`` names the poll site that observed it.
+    """
+
+    def __init__(self, cause: str, message: str = "", site: Optional[str] = None):
+        self.cause = cause
+        self.site = site
+        where = f" at {site}" if site else ""
+        super().__init__(message or f"trial cancelled ({cause}){where}")
+
+
+class CancelToken:
+    """A cancellation flag with an optional deadline and parent link.
+
+    Cancelling is one-way and idempotent: the first cause wins.  A token
+    is *observed* cancelled when it was cancelled directly, when its
+    deadline (measured on the monotonic clock) has expired, or when any
+    token on its parent chain is cancelled — parent-linking lets a
+    supervisor hand a trial a deadline-scoped child of the process-wide
+    shutdown token, so one SIGTERM fans out to every running trial.
+    """
+
+    def __init__(
+        self,
+        *,
+        deadline_seconds: Optional[float] = None,
+        parent: Optional["CancelToken"] = None,
+        name: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._cause: Optional[str] = None
+        self._message = ""
+        self._deadline: Optional[float] = None
+        if deadline_seconds is not None:
+            self._deadline = clock() + float(deadline_seconds)
+
+    def cancel(self, cause: str = CAUSE_KILL, message: str = "") -> bool:
+        """Cancel the token; returns True only for the winning (first) call."""
+        if cause not in _CAUSES:
+            raise ValueError(f"unknown cancel cause {cause!r}; choose from {_CAUSES}")
+        with self._lock:
+            if self._cause is None:
+                self._cause = cause
+                self._message = message
+                return True
+        return False
+
+    def _own_cause(self) -> Optional[str]:
+        with self._lock:
+            if self._cause is not None:
+                return self._cause
+            if self._deadline is not None and self._clock() >= self._deadline:
+                self._cause = CAUSE_DEADLINE
+                return self._cause
+        return None
+
+    @property
+    def cause(self) -> Optional[str]:
+        """The effective cause (walking the parent chain), or ``None``."""
+        token: Optional[CancelToken] = self
+        while token is not None:
+            cause = token._own_cause()
+            if cause is not None:
+                return cause
+            token = token.parent
+        return None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.cause is not None
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` if no deadline is set)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    def raise_if_cancelled(self, site: Optional[str] = None) -> None:
+        cause = self.cause
+        if cause is not None:
+            raise CancelledError(cause, message=self._message, site=site)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide shutdown token.  Signal handlers cancel this one token; every
+# trial token is (directly or via checkpoint()) observed against it.
+
+_SHUTDOWN_LOCK = threading.Lock()
+_SHUTDOWN = CancelToken(name="process-shutdown")
+
+
+def request_shutdown(message: str = "", cause: str = CAUSE_SHUTDOWN) -> bool:
+    """Cancel the process-wide shutdown token (signal-handler safe).
+
+    Returns ``True`` on the first request, ``False`` if shutdown was
+    already requested — callers use the second request as the cue to stop
+    being graceful (``os._exit``).
+    """
+    already = _SHUTDOWN.cancelled
+    _SHUTDOWN.cancel(cause, message)
+    return not already
+
+
+def shutdown_requested() -> Optional[str]:
+    """The shutdown cause if a process-wide shutdown is pending, else ``None``."""
+    return _SHUTDOWN.cause
+
+
+def reset_shutdown() -> None:
+    """Replace the process shutdown token (tests and pool-worker re-use)."""
+    global _SHUTDOWN
+    with _SHUTDOWN_LOCK:
+        _SHUTDOWN = CancelToken(name="process-shutdown")
+
+
+def shutdown_token() -> CancelToken:
+    """The current process-wide shutdown token (parent for trial tokens)."""
+    return _SHUTDOWN
+
+
+# ---------------------------------------------------------------------------
+# Heartbeat beacons.  A worker writes a tiny JSON file at poll sites
+# (throttled); the parent reads it to distinguish slow from hung.
+
+
+class Beacon:
+    """Progress beacon written at poll sites, throttled to ``interval/4``.
+
+    The beacon file is atomically replaced so the parent never reads a
+    torn write.  ``incarnation`` identifies the worker generation for a
+    requeued task: beats from a killed predecessor carry a lower
+    incarnation and are ignored by the monitor.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        task_index: int,
+        incarnation: int = 0,
+        interval: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = path
+        self.task_index = int(task_index)
+        self.incarnation = int(incarnation)
+        self._clock = clock
+        self._min_gap = max(interval, 1e-6) / 4.0
+        self._last: Optional[float] = None
+        self._count = 0
+
+    def beat(self, site: str = "") -> None:
+        now = self._clock()
+        if self._last is not None and now - self._last < self._min_gap:
+            return
+        self._last = now
+        self._count += 1
+        payload = {
+            "task": self.task_index,
+            "incarnation": self.incarnation,
+            "pid": os.getpid(),
+            "count": self._count,
+            "site": site,
+            "time": now,
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            # Liveness reporting must never take down the trial it reports
+            # on; a missed beat at worst looks like a brief stall.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def read_beacon(path: str) -> Optional[dict]:
+    """Parse a beacon file; ``None`` when absent or unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Ambient trial scope (thread-local): token + beacon + snapshot sink.
+
+
+class _Scope:
+    __slots__ = ("token", "beacon", "sink")
+
+    def __init__(self, token=None, beacon=None, sink=None):
+        self.token = token
+        self.beacon = beacon
+        self.sink = sink
+
+
+_TLS = threading.local()
+
+
+def current_scope() -> Optional[_Scope]:
+    """The innermost ambient trial scope on this thread, or ``None``."""
+    return getattr(_TLS, "scope", None)
+
+
+def current_token() -> Optional[CancelToken]:
+    scope = current_scope()
+    return scope.token if scope is not None else None
+
+
+def current_sink():
+    """The ambient snapshot sink (duck-typed; see ``utils.snapshots``)."""
+    scope = current_scope()
+    return scope.sink if scope is not None else None
+
+
+@contextmanager
+def trial_scope(
+    token: Optional[CancelToken] = None,
+    beacon: Optional[Beacon] = None,
+    sink=None,
+    inherit: Optional[_Scope] = None,
+) -> Iterator[_Scope]:
+    """Install an ambient trial scope on the current thread.
+
+    Unspecified fields are inherited from ``inherit`` (an explicit scope
+    captured on another thread — how the supervisor's deadline worker
+    thread keeps the spawning thread's beacon and sink) or, failing that,
+    from the current thread's innermost scope.
+    """
+    base = inherit if inherit is not None else current_scope()
+    scope = _Scope(
+        token=token if token is not None else (base.token if base else None),
+        beacon=beacon if beacon is not None else (base.beacon if base else None),
+        sink=sink if sink is not None else (base.sink if base else None),
+    )
+    previous = current_scope()
+    _TLS.scope = scope
+    try:
+        yield scope
+    finally:
+        _TLS.scope = previous
+
+
+def checkpoint(
+    site: str,
+    unit=None,
+    state: Optional[Callable[[], tuple]] = None,
+    **context,
+) -> None:
+    """Poll site: heartbeat, snapshot offer, then cancellation check.
+
+    ``unit`` is a snapshot unit handle (``utils.snapshots.begin_unit``)
+    and ``state`` a zero-argument callable returning ``(arrays, meta)``;
+    both may be omitted for loops that do not checkpoint state.  On an
+    observed cancellation the state builder is invoked one final time so
+    the trial resumes from the exact iteration it was cancelled at.
+    """
+    scope = current_scope()
+    beacon = scope.beacon if scope is not None else None
+    if beacon is not None:
+        beacon.beat(site)
+    if unit is not None and state is not None:
+        unit.offer(state)
+    cause = _SHUTDOWN.cause
+    token = scope.token if scope is not None else None
+    if cause is None and token is not None:
+        cause = token.cause
+    if cause is None:
+        return
+    if unit is not None and state is not None:
+        unit.offer(state, final=True)
+    raise CancelledError(cause, site=site)

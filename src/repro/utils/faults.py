@@ -41,6 +41,16 @@ Fault actions:
     the parent it models a real OOM kill of the sweep (resume covers it).
     ``times`` defaults to 1 so a requeued trial does not re-fire forever
     (the scheduler ships the prior kill count to the replacement worker).
+``sigterm``
+    Send ``SIGTERM`` to the current process and *continue*.  The process's
+    shutdown handler (pool workers install one; the CLI installs one in the
+    parent) cancels every active
+    :class:`~repro.utils.cancellation.CancelToken`, so the very next
+    ``cancellation.checkpoint`` poll site writes a final mid-trial snapshot
+    and raises ``CancelledError(cause="shutdown")`` — a deterministic
+    stand-in for an operator or scheduler terminating the process
+    mid-trial.  ``times`` defaults to 1 so a resumed trial does not
+    re-fire.
 ``disk_full``
     Make :func:`exhausted` return ``True`` at a disk-preflight site
     (``"journal_disk"``, ``"poison_disk"`` — distinct from the ``bitflip``
@@ -67,6 +77,7 @@ environment variable (see :meth:`FaultInjector.from_env`)::
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -93,7 +104,7 @@ __all__ = [
 
 ENV_VAR = "REPRO_FAULTS"
 
-_PERTURB_ACTIONS = ("throw", "hang", "kill", "oom", "oomkill")
+_PERTURB_ACTIONS = ("throw", "hang", "kill", "oom", "oomkill", "sigterm")
 _CORRUPT_ACTIONS = ("nan",)
 _DAMAGE_ACTIONS = ("bitflip",)
 _EXHAUST_ACTIONS = ("disk_full",)
@@ -147,7 +158,7 @@ class FaultSpec:
             raise ConfigError(
                 f"unknown fault action {self.action!r}; choose from {_ACTIONS}"
             )
-        if self.action == "oomkill" and self.times is None:
+        if self.action in ("oomkill", "sigterm") and self.times is None:
             # A process kill erases the injector that fired it; the
             # replacement worker gets a fresh spec with the prior kill
             # count pre-fired, which only disarms a bounded rule.
@@ -284,6 +295,12 @@ class FaultInjector:
             # The kernel OOM killer sends SIGKILL: no cleanup, no excepthook.
             # os._exit(137) is the closest faithful, portable stand-in.
             os._exit(137)
+        if spec.action == "sigterm":
+            # Deliver a real SIGTERM to ourselves and return: the process's
+            # shutdown handler cancels the active tokens and the next
+            # cancellation poll site turns that into a snapshot + exit.
+            os.kill(os.getpid(), signal.SIGTERM)
+            return
         time.sleep(spec.seconds)
 
     def corrupt(self, site: str, value: float, **context) -> float:

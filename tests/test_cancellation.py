@@ -1,0 +1,374 @@
+"""Unit tests for the cooperative-cancellation and snapshot primitives.
+
+Covers :mod:`repro.utils.cancellation` (tokens, deadlines, shutdown flag,
+beacons, scopes, poll sites) and :mod:`repro.utils.snapshots` (unit
+ordinals, resume handoff, throttling, corruption handling) in isolation —
+the integration with attackers/trainers lives in ``test_preemption.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegrityWarning
+from repro.utils import cancellation, snapshots
+from repro.utils.cancellation import (
+    CAUSE_DEADLINE,
+    CAUSE_KILL,
+    CAUSE_SHUTDOWN,
+    Beacon,
+    CancelledError,
+    CancelToken,
+    checkpoint,
+    read_beacon,
+    request_shutdown,
+    reset_shutdown,
+    shutdown_requested,
+    trial_scope,
+)
+from repro.utils.snapshots import TrialSnapshotter
+
+
+def counting_clock(step=1.0, start=0.0):
+    state = {"t": start}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+@pytest.fixture(autouse=True)
+def clean_shutdown_flag():
+    reset_shutdown()
+    yield
+    reset_shutdown()
+
+
+class TestCancelToken:
+    def test_fresh_token_not_cancelled(self):
+        token = CancelToken()
+        assert not token.cancelled
+        assert token.cause is None
+        token.raise_if_cancelled("site")  # no-op
+
+    def test_first_cause_wins(self):
+        token = CancelToken()
+        assert token.cancel(CAUSE_SHUTDOWN, "first")
+        assert not token.cancel(CAUSE_KILL, "second")
+        assert token.cause == CAUSE_SHUTDOWN
+        with pytest.raises(CancelledError) as info:
+            token.raise_if_cancelled("loop")
+        assert info.value.cause == CAUSE_SHUTDOWN
+        assert info.value.site == "loop"
+
+    def test_deadline_expires_on_injected_clock(self):
+        token = CancelToken(deadline_seconds=3, clock=counting_clock())
+        token.raise_if_cancelled("a")  # t=2 on check (t=1 at construction)
+        with pytest.raises(CancelledError) as info:
+            while True:
+                token.raise_if_cancelled("b")
+        assert info.value.cause == CAUSE_DEADLINE
+        assert token.cancelled
+
+    def test_remaining_counts_down(self):
+        token = CancelToken(deadline_seconds=10, clock=counting_clock())
+        first = token.remaining()
+        second = token.remaining()
+        assert first is not None and second is not None
+        assert second < first
+
+    def test_parent_cancellation_reaches_child(self):
+        parent = CancelToken()
+        child = CancelToken(parent=parent)
+        assert not child.cancelled
+        parent.cancel(CAUSE_KILL, "supervisor kill")
+        assert child.cancelled
+        assert child.cause == CAUSE_KILL
+        with pytest.raises(CancelledError) as info:
+            child.raise_if_cancelled("x")
+        assert info.value.cause == CAUSE_KILL
+
+    def test_cancelled_error_is_not_an_exception(self):
+        # ``except Exception`` boundaries (the trial supervisor, defensive
+        # library code) must never absorb a cancellation.
+        assert not issubclass(CancelledError, Exception)
+        assert issubclass(CancelledError, BaseException)
+
+
+class TestShutdownFlag:
+    def test_request_is_idempotent_and_observable(self):
+        assert not shutdown_requested()
+        assert request_shutdown("operator")
+        assert not request_shutdown("again")  # second request reports False
+        assert shutdown_requested()
+        reset_shutdown()
+        assert not shutdown_requested()
+
+    def test_checkpoint_raises_on_global_shutdown(self):
+        request_shutdown("test")
+        with pytest.raises(CancelledError) as info:
+            checkpoint("anywhere")
+        assert info.value.cause == CAUSE_SHUTDOWN
+
+    def test_checkpoint_without_scope_is_cheap_noop(self):
+        checkpoint("free-running")  # no scope, no shutdown: returns
+
+
+class TestScopes:
+    def test_checkpoint_polls_scope_token(self):
+        token = CancelToken()
+        token.cancel(CAUSE_KILL, "kill it")
+        with trial_scope(token=token):
+            with pytest.raises(CancelledError) as info:
+                checkpoint("loop")
+        assert info.value.cause == CAUSE_KILL
+
+    def test_scope_restored_after_exit(self):
+        token = CancelToken()
+        with trial_scope(token=token):
+            assert cancellation.current_token() is token
+        assert cancellation.current_token() is None
+
+    def test_inner_scope_inherits_unspecified_fields(self, tmp_path):
+        sink = TrialSnapshotter(tmp_path / "snap.npz")
+        outer = CancelToken(name="outer")
+        inner = CancelToken(name="inner")
+        with trial_scope(token=outer, sink=sink):
+            with trial_scope(token=inner):
+                assert cancellation.current_token() is inner
+                assert cancellation.current_sink() is sink
+
+    def test_scope_is_thread_local(self):
+        token = CancelToken()
+        seen = {}
+
+        def other_thread():
+            seen["token"] = cancellation.current_token()
+
+        with trial_scope(token=token):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen["token"] is None
+
+    def test_explicit_inherit_carries_scope_across_threads(self, tmp_path):
+        # The supervisor hands its captured scope to the trial thread.
+        sink = TrialSnapshotter(tmp_path / "snap.npz")
+        token = CancelToken()
+        seen = {}
+        with trial_scope(token=token, sink=sink):
+            captured = cancellation.current_scope()
+
+        def worker_body():
+            with trial_scope(inherit=captured):
+                seen["token"] = cancellation.current_token()
+                seen["sink"] = cancellation.current_sink()
+
+        worker = threading.Thread(target=worker_body)
+        worker.start()
+        worker.join()
+        assert seen["token"] is token
+        assert seen["sink"] is sink
+
+
+class TestBeacon:
+    def test_beat_writes_readable_record(self, tmp_path):
+        path = tmp_path / "beacon.json"
+        beacon = Beacon(path, task_index=7, incarnation=2, interval=1.0,
+                        clock=counting_clock())
+        beacon.beat("site-a")
+        record = read_beacon(path)
+        assert record is not None
+        assert record["task"] == 7
+        assert record["incarnation"] == 2
+        assert record["count"] == 1
+        assert record["site"] == "site-a"
+        assert record["pid"] > 0
+
+    def test_beats_throttled_below_quarter_interval(self, tmp_path):
+        path = tmp_path / "beacon.json"
+        # Clock advances 0.1 per call; interval 1.0 → flush every >= 0.25.
+        beacon = Beacon(path, task_index=0, interval=1.0,
+                        clock=counting_clock(step=0.1))
+        for _ in range(20):
+            beacon.beat("s")
+        record = read_beacon(path)
+        # 20 beats over 2.0 clock-seconds flush at most every interval/4
+        # (0.25s) — far fewer writes than beats, but strictly monotone.
+        assert 1 <= record["count"] < 20
+
+    def test_read_beacon_missing_or_corrupt_returns_none(self, tmp_path):
+        assert read_beacon(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert read_beacon(bad) is None
+
+    def test_checkpoint_beats_the_scope_beacon(self, tmp_path):
+        path = tmp_path / "beacon.json"
+        beacon = Beacon(path, task_index=3, interval=0.0, clock=counting_clock())
+        with trial_scope(beacon=beacon):
+            checkpoint("epoch-loop")
+        record = read_beacon(path)
+        assert record is not None and record["site"] == "epoch-loop"
+
+
+class TestTrialSnapshotter:
+    def _builder(self, step):
+        return lambda: (
+            {"state": np.arange(step, dtype=np.int64)},
+            {"step": step, "extra": float(step) / 3.0},
+        )
+
+    def test_round_trip_restores_arrays_and_meta(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=0)
+        sink.start_attempt(0)
+        unit = sink.begin_unit("fit")
+        unit.offer(self._builder(5), final=True)
+
+        resumed = TrialSnapshotter(path, interval=0)
+        assert resumed.start_attempt(3) == 0  # recorded attempt wins
+        assert resumed.resuming()
+        again = resumed.begin_unit("fit")
+        arrays, meta = again.resume_state()
+        np.testing.assert_array_equal(arrays["state"], np.arange(5))
+        assert meta["step"] == 5
+        assert meta["extra"] == 5.0 / 3.0  # JSON float repr round-trips
+
+    def test_unit_ordinals_mute_and_match(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=0)
+        sink.start_attempt(0)
+        sink.begin_unit("attack")  # ordinal 0, completes
+        second = sink.begin_unit("fit")  # ordinal 1, interrupted here
+        second.offer(self._builder(2), final=True)
+
+        resumed = TrialSnapshotter(path, interval=0)
+        resumed.start_attempt(0)
+        first = resumed.begin_unit("attack")
+        assert first.resume_state() is None
+        # A muted (already-completed) unit must not clobber the snapshot.
+        first.offer(self._builder(99), final=True)
+        target = resumed.begin_unit("fit")
+        arrays, meta = target.resume_state()
+        assert meta["step"] == 2
+
+    def test_kind_mismatch_restarts_fresh(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=0)
+        sink.start_attempt(0)
+        sink.begin_unit("attack:GRBCD").offer(self._builder(4), final=True)
+
+        resumed = TrialSnapshotter(path, interval=0)
+        resumed.start_attempt(0)
+        # Degraded retry changed the trial structure: same ordinal,
+        # different kind → fresh start, not mismatched state.
+        unit = resumed.begin_unit("attack:PRBCD")
+        assert unit.resume_state() is None
+
+    def test_throttling_skips_interior_offers(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=10.0, clock=counting_clock())
+        sink.start_attempt(0)
+        unit = sink.begin_unit("fit")
+        unit.offer(self._builder(1))
+        unit.offer(self._builder(2))  # throttled: within 10 clock-seconds
+        resumed = TrialSnapshotter(path, interval=0)
+        resumed.start_attempt(0)
+        _, meta = resumed.begin_unit("fit").resume_state()
+        assert meta["step"] == 1
+
+    def test_final_offer_ignores_throttle(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=10.0, clock=counting_clock())
+        sink.start_attempt(0)
+        unit = sink.begin_unit("fit")
+        unit.offer(self._builder(1))
+        unit.offer(self._builder(2), final=True)
+        resumed = TrialSnapshotter(path, interval=0)
+        resumed.start_attempt(0)
+        _, meta = resumed.begin_unit("fit").resume_state()
+        assert meta["step"] == 2
+
+    def test_discard_removes_archive(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=0)
+        sink.start_attempt(0)
+        sink.begin_unit("fit").offer(self._builder(1), final=True)
+        assert path.exists()
+        sink.discard()
+        assert not path.exists()
+        sink.discard()  # idempotent
+
+    def test_corrupt_snapshot_discarded_with_warning(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=0)
+        sink.start_attempt(0)
+        sink.begin_unit("fit").offer(self._builder(1), final=True)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        resumed = TrialSnapshotter(path, interval=0)
+        with pytest.warns(IntegrityWarning):
+            assert resumed.start_attempt(4) == 4  # falls back to default
+        assert not resumed.resuming()
+        assert not path.exists()
+
+    def test_snapshot_progress(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        assert snapshots.snapshot_progress(path) is None
+        sink = TrialSnapshotter(path, interval=0)
+        sink.start_attempt(0)
+        sink.begin_unit("attack")
+        sink.begin_unit("fit").offer(self._builder(6), final=True)
+        assert snapshots.snapshot_progress(path) == (1, 6)
+
+    def test_checkpoint_offers_to_scope_unit(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=0)
+        sink.start_attempt(0)
+        with trial_scope(sink=sink):
+            unit = snapshots.begin_unit("fit")
+            checkpoint("trainer", unit=unit, state=self._builder(3))
+        assert snapshots.snapshot_progress(path) == (0, 3)
+
+    def test_checkpoint_final_snapshot_on_cancellation(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        sink = TrialSnapshotter(path, interval=1e9, clock=counting_clock())
+        sink.start_attempt(0)
+        token = CancelToken()
+        token.cancel(CAUSE_SHUTDOWN, "stop")
+        with trial_scope(token=token, sink=sink):
+            unit = snapshots.begin_unit("fit")
+            with pytest.raises(CancelledError):
+                checkpoint("trainer", unit=unit, state=self._builder(8))
+        # Despite the huge throttle interval, the cancellation forced a
+        # final write before raising.
+        assert snapshots.snapshot_progress(path) == (0, 8)
+
+
+class TestPackHelpers:
+    def test_pack_unpack_round_trip_in_order(self):
+        arrays = {}
+        items = [np.arange(3), np.eye(2), np.asarray([7.5])]
+        snapshots.pack_list(arrays, "w_", items)
+        out = snapshots.unpack_list(arrays, "w_")
+        assert len(out) == 3
+        for original, restored in zip(items, out):
+            np.testing.assert_array_equal(np.asarray(original), restored)
+
+    def test_generator_state_round_trip_is_json_safe(self):
+        rng = np.random.default_rng(123)
+        rng.random(17)
+        state = snapshots.generator_state(rng)
+        json.loads(json.dumps(state))  # JSON-serializable end to end
+        clone = np.random.default_rng(0)
+        snapshots.restore_generator(clone, json.loads(json.dumps(state)))
+        np.testing.assert_array_equal(rng.random(5), clone.random(5))
